@@ -1,0 +1,74 @@
+//! Ablations discussed in the paper but reported in its technical report:
+//!
+//! * **unbiased vs. hard correction (§5.2)** — replacing the soft
+//!   `P̂_GMM(R)` vector by a 0/1 "component intersects R" indicator;
+//! * **column order (§4.3)** — the AR factorisation order;
+//! * **joint vs. separate training (§4.3)**.
+
+use iam_bench::{BenchScale, SingleTableExperiment};
+use iam_core::{IamConfig, IamEstimator};
+use iam_data::synth::Dataset;
+use iam_data::Table;
+
+fn eval(exp: &SingleTableExperiment, cfg: IamConfig, label: &str) {
+    let mut est = IamEstimator::fit(&exp.table, cfg);
+    let (errors, _) = exp.evaluate(&mut est);
+    println!("{}", errors.table_row(label));
+}
+
+fn main() {
+    let mut scale = BenchScale::from_env();
+    scale.epochs = scale.epochs.min(8);
+    let exp = SingleTableExperiment::prepare(Dataset::Twi, &scale);
+    println!("\n=== Ablations on TWI ===");
+    println!(
+        "{:<12} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "Variant", "Mean", "Median", "95th", "99th", "Max"
+    );
+    let base = scale.iam_config();
+    eval(&exp, base.clone(), "IAM");
+    eval(
+        &exp,
+        IamConfig { hard_range_weights: true, ..base.clone() },
+        "hard-corr",
+    );
+    eval(
+        &exp,
+        IamConfig { joint_training: false, ..base.clone() },
+        "separate",
+    );
+    eval(
+        &exp,
+        IamConfig { wildcard_skipping: false, ..base.clone() },
+        "no-wildcard",
+    );
+
+    // column order: reversed column order on WISDM (left-to-right vs
+    // right-to-left, paper §4.3)
+    let exp_w = SingleTableExperiment::prepare(Dataset::Wisdm, &scale);
+    println!("\n=== Column order on WISDM ===");
+    println!(
+        "{:<12} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "Order", "Mean", "Median", "95th", "99th", "Max"
+    );
+    eval(&exp_w, base.clone(), "natural");
+    // reversed: permute the table's columns and the queries' column ids
+    let rev_cols: Vec<_> = exp_w.table.columns.iter().rev().cloned().collect();
+    let rev_table = Table::new("wisdm_rev", rev_cols).unwrap();
+    let ncols = rev_table.ncols();
+    let mut est = IamEstimator::fit(&rev_table, base);
+    let mut errors = Vec::new();
+    for (q, _, truth) in &exp_w.eval {
+        let mut rq = iam_data::RangeQuery::unconstrained(ncols);
+        let (orig, _) = q.normalize(ncols).unwrap();
+        for (c, iv) in orig.cols.iter().enumerate() {
+            rq.cols[ncols - 1 - c] = *iv;
+        }
+        use iam_data::SelectivityEstimator;
+        errors.push(iam_data::q_error(*truth, est.estimate(&rq), rev_table.nrows()));
+    }
+    println!(
+        "{}",
+        iam_data::ErrorSummary::from_errors(&errors).unwrap().table_row("reversed")
+    );
+}

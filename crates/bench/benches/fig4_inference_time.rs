@@ -1,0 +1,19 @@
+//! Figure 4: single-query inference time per dataset, per estimator.
+//!
+//! Reuses the Tables-2-4 line-up runs and reports the latency column.
+
+use iam_bench::{print_latency_table, run_lineup, BenchScale, SingleTableExperiment};
+use iam_data::synth::Dataset;
+
+fn main() {
+    let mut scale = BenchScale::from_env();
+    // latency shape needs fewer queries and epochs than the accuracy tables
+    scale.queries = scale.queries.min(60);
+    scale.epochs = scale.epochs.min(3);
+    for ds in Dataset::all() {
+        eprintln!("[fig4] {} at {} rows", ds.name(), scale.rows);
+        let exp = SingleTableExperiment::prepare(ds, &scale);
+        let rows = run_lineup(&exp, true);
+        print_latency_table(&format!("Figure 4: inference time on {}", ds.name()), &rows);
+    }
+}

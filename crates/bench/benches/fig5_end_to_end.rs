@@ -1,0 +1,54 @@
+//! Figure 5: end-to-end execution time on IMDB under different estimators'
+//! cardinalities (Selinger DP optimizer + hash-join executor).
+
+use iam_bench::join_exp::JoinExperiment;
+use iam_bench::BenchScale;
+use iam_core::{neurocard_lite, IamEstimator};
+use iam_estimators::spn::SpnConfig;
+use iam_estimators::SpnEstimator;
+use iam_join::workload::JoinWorkloadGenerator;
+use iam_opt::{
+    execute, optimize, ExactCardEstimator, FlatCardEstimator, IndependenceCardEstimator,
+    JoinCardEstimator,
+};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    eprintln!("[fig5] preparing IMDB + training estimators");
+    let exp = JoinExperiment::prepare(&scale);
+    let cfg = scale.iam_config();
+    let iam = IamEstimator::fit(&exp.flat, cfg.clone());
+    let nc = IamEstimator::fit(&exp.flat, neurocard_lite(cfg));
+    let spn = SpnEstimator::new(&exp.flat, SpnConfig::default());
+
+    let mut arms: Vec<(&str, Box<dyn JoinCardEstimator>)> = vec![
+        ("exact", Box::new(ExactCardEstimator::new(&exp.star))),
+        ("Postgres", Box::new(IndependenceCardEstimator::new(&exp.star))),
+        ("DeepDB", Box::new(FlatCardEstimator::new(spn, exp.schema.clone()))),
+        ("Neurocard", Box::new(FlatCardEstimator::new(nc, exp.schema.clone()))),
+        ("IAM", Box::new(FlatCardEstimator::new(iam, exp.schema.clone()))),
+    ];
+
+    let mut gen = JoinWorkloadGenerator::new(&exp.star, scale.seed ^ 0x55);
+    let queries = gen.gen_queries(scale.queries.min(60));
+
+    println!("\n=== Figure 5: end-to-end execution on IMDB ===");
+    println!(
+        "{:<12} {:>14} {:>14} {:>14}",
+        "Estimator", "exec time (s)", "work (tuples)", "plan time (s)"
+    );
+    for (name, est) in arms.iter_mut() {
+        let mut work = 0u64;
+        let mut exec_s = 0.0f64;
+        let mut plan_s = 0.0f64;
+        for q in &queries {
+            let t0 = std::time::Instant::now();
+            let plan = optimize(q, est.as_mut());
+            plan_s += t0.elapsed().as_secs_f64();
+            let rep = execute(&exp.star, q, &plan);
+            work += rep.intermediate_tuples;
+            exec_s += rep.seconds;
+        }
+        println!("{name:<12} {exec_s:>14.3} {work:>14} {plan_s:>14.3}");
+    }
+}

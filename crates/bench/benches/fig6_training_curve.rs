@@ -1,0 +1,42 @@
+//! Figure 6: maximum q-error versus training epoch, per dataset.
+
+use iam_bench::{BenchScale, SingleTableExperiment};
+use iam_core::IamEstimator;
+use iam_data::synth::Dataset;
+use iam_data::{q_error, SelectivityEstimator};
+
+fn main() {
+    let mut scale = BenchScale::from_env();
+    scale.queries = scale.queries.min(100);
+    let max_epochs = scale.epochs.clamp(10, 15);
+    println!("\n=== Figure 6: max q-error vs training epoch ===");
+    print!("{:<8}", "epoch");
+    for d in Dataset::all() {
+        print!(" {:>9}", d.name());
+    }
+    println!();
+    let mut curves: Vec<Vec<f64>> = Vec::new();
+    for ds in Dataset::all() {
+        eprintln!("[fig6] training on {}", ds.name());
+        let exp = SingleTableExperiment::prepare(ds, &scale);
+        let mut est = IamEstimator::build(&exp.table, scale.iam_config());
+        let mut curve = Vec::new();
+        for _ in 0..max_epochs {
+            est.train_epochs(&exp.table, 1);
+            let max_err = exp
+                .eval
+                .iter()
+                .map(|(_, rq, truth)| q_error(*truth, est.estimate(rq), exp.table.nrows()))
+                .fold(0.0f64, f64::max);
+            curve.push(max_err);
+        }
+        curves.push(curve);
+    }
+    for e in 0..max_epochs {
+        print!("{:<8}", e + 1);
+        for c in &curves {
+            print!(" {:>9.1}", c[e]);
+        }
+        println!();
+    }
+}

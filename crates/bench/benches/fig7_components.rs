@@ -1,0 +1,37 @@
+//! Figure 7: accuracy (95th-percentile q-error) versus the number of GMM
+//! components, per dataset.
+
+use iam_bench::{BenchScale, SingleTableExperiment};
+use iam_core::{IamConfig, IamEstimator};
+use iam_data::synth::Dataset;
+
+fn main() {
+    let mut scale = BenchScale::from_env();
+    // sweeps train many models; cap epochs to keep the sweep tractable
+    scale.epochs = scale.epochs.min(8);
+    let ks = [1usize, 5, 10, 30, 50];
+    println!("\n=== Figure 7: 95th-percentile q-error vs #components ===");
+    print!("{:<6}", "K");
+    for d in Dataset::all() {
+        print!(" {:>9}", d.name());
+    }
+    println!();
+    let mut rows = vec![vec![0.0f64; Dataset::all().len()]; ks.len()];
+    for (di, ds) in Dataset::all().iter().enumerate() {
+        eprintln!("[fig7] sweeping K on {}", ds.name());
+        let exp = SingleTableExperiment::prepare(*ds, &scale);
+        for (ki, &k) in ks.iter().enumerate() {
+            let cfg = IamConfig { components: k, ..scale.iam_config() };
+            let mut est = IamEstimator::fit(&exp.table, cfg);
+            let (errors, _) = exp.evaluate(&mut est);
+            rows[ki][di] = errors.p95;
+        }
+    }
+    for (ki, &k) in ks.iter().enumerate() {
+        print!("{k:<6}");
+        for v in &rows[ki] {
+            print!(" {:>9.2}", v);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,32 @@
+//! Table 12: IAM model size (KB) versus the number of mixture components.
+
+use iam_bench::join_exp::JoinExperiment;
+use iam_bench::BenchScale;
+use iam_core::{IamConfig, IamEstimator};
+use iam_data::synth::Dataset;
+use iam_data::SelectivityEstimator;
+
+fn main() {
+    let mut scale = BenchScale::from_env();
+    scale.epochs = 0; // sizes are architecture-only
+    let ks = [1usize, 10, 30, 50, 70];
+    println!("\n=== Table 12: IAM model size (KB) vs #components ===");
+    println!("{:<6} {:>9} {:>9} {:>9} {:>9}", "K", "WISDM", "TWI", "HIGGS", "IMDB");
+    let tables: Vec<(String, iam_data::Table)> = Dataset::all()
+        .iter()
+        .map(|d| (d.name().to_string(), d.generate(scale.rows, scale.seed)))
+        .chain(std::iter::once((
+            "IMDB".to_string(),
+            JoinExperiment::prepare(&scale).flat,
+        )))
+        .collect();
+    for k in ks {
+        print!("{k:<6}");
+        for (_, t) in &tables {
+            let cfg = IamConfig { components: k, ..scale.iam_config() };
+            let est = IamEstimator::build(t, cfg);
+            print!(" {:>9.1}", est.model_size_bytes() as f64 / 1024.0);
+        }
+        println!();
+    }
+}

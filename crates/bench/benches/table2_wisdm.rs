@@ -1,0 +1,12 @@
+//! Table 2: estimation errors on WISDM (Q-error quantiles, 12 estimators).
+
+use iam_bench::{print_error_table, run_lineup, BenchScale, SingleTableExperiment};
+use iam_data::synth::Dataset;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    eprintln!("[table2] preparing WISDM at {} rows, {} queries", scale.rows, scale.queries);
+    let exp = SingleTableExperiment::prepare(Dataset::Wisdm, &scale);
+    let rows = run_lineup(&exp, true);
+    print_error_table("Table 2: estimation errors on WISDM", &rows);
+}

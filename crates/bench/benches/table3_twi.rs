@@ -1,0 +1,12 @@
+//! Table 3: estimation errors on TWI (Q-error quantiles, 12 estimators).
+
+use iam_bench::{print_error_table, run_lineup, BenchScale, SingleTableExperiment};
+use iam_data::synth::Dataset;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    eprintln!("[table3] preparing TWI at {} rows, {} queries", scale.rows, scale.queries);
+    let exp = SingleTableExperiment::prepare(Dataset::Twi, &scale);
+    let rows = run_lineup(&exp, true);
+    print_error_table("Table 3: estimation errors on TWI", &rows);
+}

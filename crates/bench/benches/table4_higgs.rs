@@ -1,0 +1,12 @@
+//! Table 4: estimation errors on HIGGS (Q-error quantiles, 12 estimators).
+
+use iam_bench::{print_error_table, run_lineup, BenchScale, SingleTableExperiment};
+use iam_data::synth::Dataset;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    eprintln!("[table4] preparing HIGGS at {} rows, {} queries", scale.rows, scale.queries);
+    let exp = SingleTableExperiment::prepare(Dataset::Higgs, &scale);
+    let rows = run_lineup(&exp, true);
+    print_error_table("Table 4: estimation errors on HIGGS", &rows);
+}

@@ -1,0 +1,18 @@
+//! Table 5: estimation errors on the IMDB join workload (q-error over
+//! cardinalities; join-capable estimators only).
+
+use iam_bench::join_exp::{run_join_lineup, JoinExperiment};
+use iam_bench::{print_error_table, BenchScale};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    eprintln!(
+        "[table5] preparing synthetic IMDB ({} movies, {} FOJ sample rows, {} queries)",
+        scale.rows / 3,
+        scale.rows,
+        scale.queries
+    );
+    let exp = JoinExperiment::prepare(&scale);
+    let rows = run_join_lineup(&exp);
+    print_error_table("Table 5: estimation errors on IMDB (join queries)", &rows);
+}

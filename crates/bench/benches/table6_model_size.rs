@@ -1,0 +1,42 @@
+//! Table 6: model sizes (MSCN / DeepDB / Neurocard / IAM) per dataset.
+
+use iam_bench::join_exp::JoinExperiment;
+use iam_bench::{BenchScale, SingleTableExperiment};
+use iam_core::{neurocard_lite, IamEstimator};
+use iam_data::synth::Dataset;
+use iam_data::SelectivityEstimator;
+use iam_estimators::spn::SpnConfig;
+use iam_estimators::{mscn::MscnConfig, MscnLite, SpnEstimator};
+
+fn main() {
+    let mut scale = BenchScale::from_env();
+    scale.epochs = 1; // sizes do not depend on training length
+    println!("\n=== Table 6: model sizes (KB) ===");
+    println!("{:<12} {:>9} {:>9} {:>9} {:>9}", "Estimator", "WISDM", "TWI", "HIGGS", "IMDB");
+    let mut sizes: Vec<[f64; 4]> = vec![[0.0; 4]; 4];
+    let cfg = scale.iam_config();
+    for (di, table) in Dataset::all()
+        .iter()
+        .map(|d| SingleTableExperiment::prepare(*d, &scale).table)
+        .chain(std::iter::once(JoinExperiment::prepare(&scale).flat))
+        .enumerate()
+    {
+        let train: Vec<(iam_data::RangeQuery, f64)> = Vec::new();
+        let mscn = MscnLite::fit(&table, &train, MscnConfig { epochs: 0, ..Default::default() });
+        let spn = SpnEstimator::new(&table, SpnConfig::default());
+        let mut nc = IamEstimator::build(&table, neurocard_lite(cfg.clone()));
+        let mut iam = IamEstimator::build(&table, cfg.clone());
+        nc.train_epochs(&table, 0);
+        iam.train_epochs(&table, 0);
+        sizes[0][di] = mscn.model_size_bytes() as f64 / 1024.0;
+        sizes[1][di] = spn.model_size_bytes() as f64 / 1024.0;
+        sizes[2][di] = nc.model_size_bytes() as f64 / 1024.0;
+        sizes[3][di] = iam.model_size_bytes() as f64 / 1024.0;
+    }
+    for (name, row) in ["MSCN", "DeepDB", "Neurocard", "IAM"].iter().zip(&sizes) {
+        println!(
+            "{:<12} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+            name, row[0], row[1], row[2], row[3]
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Table 7: inference time with batch query processing on IMDB
+//! (ms per query for batch sizes 1 / 64 / 128).
+
+use iam_bench::join_exp::JoinExperiment;
+use iam_bench::BenchScale;
+use iam_core::{neurocard_lite, IamEstimator};
+use iam_data::RangeQuery;
+use iam_estimators::{mscn::MscnConfig, MscnLite};
+use iam_data::SelectivityEstimator;
+use std::time::Instant;
+
+fn main() {
+    let mut scale = BenchScale::from_env();
+    scale.queries = scale.queries.max(128);
+    eprintln!("[table7] preparing IMDB + training estimators");
+    let exp = JoinExperiment::prepare(&scale);
+    let cfg = scale.iam_config();
+
+    let mut iam = IamEstimator::fit(&exp.flat, cfg.clone());
+    let mut nc = IamEstimator::fit(&exp.flat, neurocard_lite(cfg));
+    let mut mscn = MscnLite::fit(
+        &exp.flat,
+        &exp.train,
+        MscnConfig { seed: exp.scale.seed, ..Default::default() },
+    );
+
+    let rqs: Vec<RangeQuery> =
+        exp.eval.iter().map(|(q, _)| exp.schema.rewrite(q)).collect();
+
+    println!("\n=== Table 7: batch inference on IMDB (ms/query) ===");
+    println!("{:<12} {:>9} {:>9} {:>9}", "Estimator", "1", "64", "128");
+
+    let batch_time = |est: &mut IamEstimator, b: usize| -> f64 {
+        let t0 = Instant::now();
+        let mut answered = 0usize;
+        for chunk in rqs.chunks(b).take((128 / b).max(1)) {
+            est.estimate_batch(chunk);
+            answered += chunk.len();
+        }
+        t0.elapsed().as_secs_f64() * 1000.0 / answered.max(1) as f64
+    };
+    let mscn_time = |est: &mut MscnLite, b: usize| -> f64 {
+        // MSCN featurisation is per-query; batching only amortises dispatch
+        let t0 = Instant::now();
+        let mut answered = 0usize;
+        for chunk in rqs.chunks(b).take((128 / b).max(1)) {
+            for q in chunk {
+                est.estimate(q);
+            }
+            answered += chunk.len();
+        }
+        t0.elapsed().as_secs_f64() * 1000.0 / answered.max(1) as f64
+    };
+
+    let m: Vec<f64> = [1, 64, 128].iter().map(|&b| mscn_time(&mut mscn, b)).collect();
+    println!("{:<12} {:>9.3} {:>9.3} {:>9.3}", "MSCN", m[0], m[1], m[2]);
+    let n: Vec<f64> = [1, 64, 128].iter().map(|&b| batch_time(&mut nc, b)).collect();
+    println!("{:<12} {:>9.2} {:>9.2} {:>9.2}", "Neurocard", n[0], n[1], n[2]);
+    let i: Vec<f64> = [1, 64, 128].iter().map(|&b| batch_time(&mut iam, b)).collect();
+    println!("{:<12} {:>9.2} {:>9.2} {:>9.2}", "IAM", i[0], i[1], i[2]);
+}

@@ -1,0 +1,42 @@
+//! Table 8: training time (s) on IMDB for MSCN / DeepDB / Neurocard / IAM.
+
+use iam_bench::join_exp::JoinExperiment;
+use iam_bench::BenchScale;
+use iam_core::{neurocard_lite, IamEstimator};
+use iam_estimators::spn::SpnConfig;
+use iam_estimators::{mscn::MscnConfig, MscnLite, SpnEstimator};
+use std::time::Instant;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    eprintln!("[table8] preparing IMDB");
+    let exp = JoinExperiment::prepare(&scale);
+    let cfg = scale.iam_config();
+
+    let t0 = Instant::now();
+    let _mscn = MscnLite::fit(
+        &exp.flat,
+        &exp.train,
+        MscnConfig { seed: scale.seed, ..Default::default() },
+    );
+    let mscn_s = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let _spn = SpnEstimator::new(&exp.flat, SpnConfig::default());
+    let spn_s = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let _nc = IamEstimator::fit(&exp.flat, neurocard_lite(cfg.clone()));
+    let nc_s = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let _iam = IamEstimator::fit(&exp.flat, cfg);
+    let iam_s = t0.elapsed().as_secs_f64();
+
+    println!("\n=== Table 8: training time on IMDB (s) ===");
+    println!("{:<12} {:>9}", "Estimator", "seconds");
+    println!("{:<12} {:>9.1}", "MSCN", mscn_s);
+    println!("{:<12} {:>9.1}", "DeepDB", spn_s);
+    println!("{:<12} {:>9.1}", "Neurocard", nc_s);
+    println!("{:<12} {:>9.1}", "IAM", iam_s);
+}

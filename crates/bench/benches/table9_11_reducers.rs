@@ -1,0 +1,56 @@
+//! Tables 9-11: alternative domain-reducing methods (GMM vs equi-depth
+//! histogram vs spline vs UMM) on WISDM, TWI and HIGGS — error quantiles
+//! and estimation time.
+//!
+//! Component counts: the paper sweeps 30/100/1000 on million-row data; at
+//! bench scale (~2×10^4 rows) the bucket count required for a given
+//! within-bucket error shrinks proportionally, so we sweep 30/100/300 —
+//! the same "needs an order of magnitude more buckets than GMM" story.
+
+use iam_bench::{BenchScale, SingleTableExperiment};
+use iam_core::{IamConfig, IamEstimator, ReducerKind};
+use iam_data::synth::Dataset;
+
+fn run(exp: &SingleTableExperiment, cfg: IamConfig, label: &str) {
+    let mut est = IamEstimator::fit(&exp.table, cfg);
+    let (errors, ms) = exp.evaluate(&mut est);
+    println!(
+        "{label:<14} {:>9} {:>9} {:>9} {:>11.2}",
+        iam_data::metrics::fmt3(errors.median),
+        iam_data::metrics::fmt3(errors.p95),
+        iam_data::metrics::fmt3(errors.max),
+        ms
+    );
+}
+
+fn main() {
+    let mut scale = BenchScale::from_env();
+    // sweeps train many models; cap epochs to keep the sweep tractable
+    scale.epochs = scale.epochs.min(6);
+    scale.rows = scale.rows.min(12_000);
+    let sweeps: [(ReducerKind, &[usize]); 4] = [
+        (ReducerKind::Gmm, &[30]),
+        (ReducerKind::Hist, &[30, 100, 300]),
+        (ReducerKind::Spline, &[30, 100, 300]),
+        (ReducerKind::Umm, &[30, 100, 300]),
+    ];
+    for (tno, ds) in Dataset::all().iter().enumerate() {
+        eprintln!("[table9-11] {}", ds.name());
+        let exp = SingleTableExperiment::prepare(*ds, &scale);
+        println!("\n=== Table {}: domain reducers on {} ===", 9 + tno, ds.name());
+        println!(
+            "{:<14} {:>9} {:>9} {:>9} {:>11}",
+            "Method", "Median", "95th", "Max", "est (ms)"
+        );
+        for (kind, counts) in &sweeps {
+            for &k in *counts {
+                let cfg = IamConfig {
+                    reducer: *kind,
+                    components: k,
+                    ..scale.iam_config()
+                };
+                run(&exp, cfg, &format!("{} ({k})", kind.name()));
+            }
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Configuration of the IAM estimator.
+
+/// Which domain-reduction family to use for large-domain continuous
+/// attributes (§6.6 compares all four).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReducerKind {
+    /// Gaussian mixture model — the paper's choice.
+    Gmm,
+    /// Equi-depth histogram.
+    Hist,
+    /// Spline-based histogram (error-minimising CDF knots).
+    Spline,
+    /// Uniform mixture model (overlapping buckets).
+    Umm,
+}
+
+impl ReducerKind {
+    /// Display name used in Tables 9–11.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReducerKind::Gmm => "GMM",
+            ReducerKind::Hist => "Hist",
+            ReducerKind::Spline => "Spline",
+            ReducerKind::Umm => "UMM",
+        }
+    }
+}
+
+/// How `P̂_GMM(R)` (per-component range mass) is computed at query time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RangeMassMode {
+    /// Closed form via the normal CDF (`erf`).
+    Exact,
+    /// The paper's scheme: `S` pre-drawn samples per component, counted per
+    /// query ("Impact of GMM Sample Number", §6).
+    MonteCarlo {
+        /// Samples per component (the paper uses 10 K).
+        samples_per_component: usize,
+    },
+}
+
+/// Full configuration of [`crate::IamEstimator`].
+#[derive(Debug, Clone)]
+pub struct IamConfig {
+    /// Number of mixture components `K` per reduced column (paper: 30; a
+    /// VBGM pass may return fewer).
+    pub components: usize,
+    /// Pick `K` automatically with VBGM (capped at `components`).
+    pub auto_components: bool,
+    /// Reduce a column when its domain size exceeds this (paper: 1000).
+    pub reduce_threshold: usize,
+    /// Which reducer family to use.
+    pub reducer: ReducerKind,
+    /// Reduce large-domain continuous columns at all. `false` gives the
+    /// Neurocard-style baseline: continuous columns are ordinally encoded
+    /// and column-factorised instead.
+    pub reduce_continuous: bool,
+    /// Factorise *unreduced* columns whose domain exceeds this into two
+    /// subcolumns (Neurocard's column factorisation; paper: 2^11).
+    pub factorize_threshold: usize,
+    /// Hidden layer widths of the ResMADE (paper: 256/128/128/256).
+    pub hidden: Vec<usize>,
+    /// Per-column embedding width.
+    pub embed_dim: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Train GMMs jointly with the AR model (Eq. 6). When false the
+    /// reducers are fitted once up-front ("separate training").
+    pub joint_training: bool,
+    /// Enable wildcard skipping (mask a random subset of input columns per
+    /// training tuple, skip unqueried columns at inference).
+    pub wildcard_skipping: bool,
+    /// Ablation switch: replace the soft `P̂_GMM(R)` correction vector by a
+    /// hard 0/1 "component intersects R" indicator. Biased; exists to
+    /// demonstrate why the unbiased correction matters (§5.2).
+    pub hard_range_weights: bool,
+    /// Number of progressive samples `S_p` per query.
+    pub samples: usize,
+    /// Range-mass computation mode for GMM-reduced columns.
+    pub range_mass: RangeMassMode,
+    /// RNG seed (training shuffles, sampling).
+    pub seed: u64,
+}
+
+impl Default for IamConfig {
+    fn default() -> Self {
+        IamConfig {
+            components: 30,
+            auto_components: false,
+            reduce_threshold: 1000,
+            reducer: ReducerKind::Gmm,
+            reduce_continuous: true,
+            factorize_threshold: 1 << 11,
+            hidden: vec![256, 128, 128, 256],
+            embed_dim: 16,
+            epochs: 10,
+            batch_size: 512,
+            lr: 2e-3,
+            joint_training: true,
+            wildcard_skipping: true,
+            hard_range_weights: false,
+            samples: 512,
+            range_mass: RangeMassMode::Exact,
+            seed: 42,
+        }
+    }
+}
+
+impl IamConfig {
+    /// A small fast profile for tests and examples.
+    pub fn small() -> Self {
+        IamConfig {
+            components: 12,
+            hidden: vec![64, 64],
+            embed_dim: 8,
+            epochs: 4,
+            batch_size: 256,
+            samples: 200,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = IamConfig::default();
+        assert_eq!(c.components, 30);
+        assert_eq!(c.reduce_threshold, 1000);
+        assert_eq!(c.hidden, vec![256, 128, 128, 256]);
+        assert_eq!(c.factorize_threshold, 2048);
+        assert_eq!(c.reducer.name(), "GMM");
+    }
+}

@@ -1,0 +1,374 @@
+//! The public IAM estimator and its Neurocard-style ablation.
+
+use crate::config::IamConfig;
+use crate::infer;
+use crate::schema::IamSchema;
+use crate::train::{self, EpochStats};
+use iam_data::{RangeQuery, SelectivityEstimator, Table};
+use iam_gmm::GmmSgdTrainer;
+use iam_nn::{Adam, AdamConfig, MadeConfig, MadeNet, Parameters};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The IAM selectivity estimator (GMMs + ResMADE + unbiased progressive
+/// sampling). With [`IamConfig::reduce_continuous`] = false it degrades to
+/// the Neurocard-style baseline (column factorisation, no reduction) —
+/// see [`neurocard_lite`].
+pub struct IamEstimator {
+    /// Active configuration.
+    pub cfg: IamConfig,
+    /// Column handling and slot layout.
+    pub schema: IamSchema,
+    net: MadeNet,
+    opt: Adam,
+    gmm_trainers: Vec<Option<GmmSgdTrainer>>,
+    nrows: usize,
+    rng: StdRng,
+    name: String,
+    /// Loss curve, one entry per trained epoch.
+    pub stats: Vec<EpochStats>,
+}
+
+impl IamEstimator {
+    /// Fit reducers and build the (untrained) network for `table`.
+    pub fn build(table: &Table, cfg: IamConfig) -> Self {
+        Self::build_named(table, cfg, None)
+    }
+
+    /// Like [`Self::build`] but with an explicit display name.
+    pub fn build_named(table: &Table, cfg: IamConfig, name: Option<&str>) -> Self {
+        let schema = IamSchema::build(table, &cfg);
+        debug_assert!(train::check_slot_layout(&schema));
+        let net = MadeNet::new(MadeConfig {
+            domain_sizes: schema.slot_domains.clone(),
+            hidden: cfg.hidden.clone(),
+            embed_dim: cfg.embed_dim,
+            residual: true,
+            seed: cfg.seed,
+        });
+        let opt = Adam::new(AdamConfig { lr: cfg.lr, ..Default::default() });
+        let gmm_trainers = train::make_gmm_trainers(&schema, &cfg);
+        let name = name
+            .map(str::to_owned)
+            .unwrap_or_else(|| if cfg.reduce_continuous { "IAM" } else { "Neurocard" }.into());
+        IamEstimator {
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0xD1CE),
+            schema,
+            net,
+            opt,
+            gmm_trainers,
+            nrows: table.nrows(),
+            name,
+            stats: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Train for `epochs` additional epochs (resumable — Figure 6 evaluates
+    /// the model between calls).
+    pub fn train_epochs(&mut self, table: &Table, epochs: usize) {
+        for _ in 0..epochs {
+            let s = train::train_epoch(
+                table,
+                &mut self.schema,
+                &mut self.net,
+                &mut self.opt,
+                &mut self.gmm_trainers,
+                &self.cfg,
+                &mut self.rng,
+            );
+            self.stats.push(s);
+        }
+    }
+
+    /// Rebuild an estimator from persisted parts (see `persist`): the
+    /// network is reconstructed deterministically from the config and
+    /// schema; the caller then overwrites its parameters.
+    pub(crate) fn from_parts(
+        cfg: IamConfig,
+        schema: IamSchema,
+        nrows: usize,
+        name: &str,
+    ) -> Result<Self, crate::persist::PersistError> {
+        let net = MadeNet::new(MadeConfig {
+            domain_sizes: schema.slot_domains.clone(),
+            hidden: cfg.hidden.clone(),
+            embed_dim: cfg.embed_dim,
+            residual: true,
+            seed: cfg.seed,
+        });
+        let opt = Adam::new(AdamConfig { lr: cfg.lr, ..Default::default() });
+        let gmm_trainers = train::make_gmm_trainers(&schema, &cfg);
+        Ok(IamEstimator {
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0xD1CE),
+            schema,
+            net,
+            opt,
+            gmm_trainers,
+            nrows,
+            name: name.to_string(),
+            stats: Vec::new(),
+            cfg,
+        })
+    }
+
+    /// Number of rows of the table the model was trained on.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Build and train in one call using `cfg.epochs`.
+    pub fn fit(table: &Table, cfg: IamConfig) -> Self {
+        let epochs = cfg.epochs;
+        let mut est = Self::build(table, cfg);
+        est.train_epochs(table, epochs);
+        est
+    }
+
+    /// Batched inference: one progressive-sampling run answering many
+    /// queries in shared forward passes (§5.3, "Batch Query Inference").
+    pub fn estimate_batch(&mut self, queries: &[RangeQuery]) -> Vec<f64> {
+        let plans: Vec<_> = queries.iter().map(|q| self.schema.query_plan(q)).collect();
+        infer::estimate_batch(
+            &mut self.net,
+            &self.schema,
+            &plans,
+            self.cfg.samples,
+            &mut self.rng,
+        )
+    }
+
+    /// Reseed the sampler (thread-cloned estimators should diverge).
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+
+    /// Number of trainable scalar parameters.
+    pub fn num_params(&mut self) -> usize {
+        self.net.num_params()
+    }
+
+    /// Mutable access to the underlying AR network (testing/diagnostics:
+    /// e.g. exhaustively enumerating the model's implied distribution).
+    pub fn net_mut(&mut self) -> &mut MadeNet {
+        &mut self.net
+    }
+
+    /// Mutable access to the sampling RNG (used by the AQP extension).
+    pub(crate) fn rng_mut(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+impl SelectivityEstimator for IamEstimator {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn estimate(&mut self, q: &RangeQuery) -> f64 {
+        self.estimate_batch(std::slice::from_ref(q))[0]
+    }
+
+    fn model_size_bytes(&self) -> usize {
+        // network parameters (f32) + reducer parameters; ordinal
+        // dictionaries are excluded for every estimator alike (see DESIGN.md)
+        let mut net = self.net.clone();
+        net.num_params() * 4 + self.schema.reducers_size_bytes()
+    }
+}
+
+impl Clone for IamEstimator {
+    /// Clones share the trained model but get a *fresh* sampling RNG
+    /// (`StdRng` is not cloneable); call [`IamEstimator::reseed`] with a
+    /// distinct seed per thread before parallel evaluation.
+    fn clone(&self) -> Self {
+        IamEstimator {
+            cfg: self.cfg.clone(),
+            schema: self.schema.clone(),
+            net: self.net.clone(),
+            opt: self.opt.clone(),
+            gmm_trainers: self.gmm_trainers.clone(),
+            nrows: self.nrows,
+            rng: StdRng::seed_from_u64(self.cfg.seed ^ 0xC10E),
+            name: self.name.clone(),
+            stats: self.stats.clone(),
+        }
+    }
+}
+
+/// The Neurocard-style configuration: identical AR model and training, but
+/// no domain reduction — large continuous domains are ordinally encoded and
+/// column-factorised, exactly the baseline IAM is compared against.
+pub fn neurocard_lite(base: IamConfig) -> IamConfig {
+    IamConfig { reduce_continuous: false, ..base }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iam_data::column::{CatColumn, Column, ContColumn};
+    use iam_data::query::{Interval, Op, Predicate, Query};
+    use iam_data::{exact_selectivity, Table, WorkloadConfig, WorkloadGenerator};
+    use rand::RngExt;
+
+    /// A small correlated table: categorical cluster id + a continuous value
+    /// whose location depends on the cluster.
+    fn corr_table(n: usize, seed: u64) -> Table {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cats = Vec::with_capacity(n);
+        let mut vals = Vec::with_capacity(n);
+        for _ in 0..n {
+            let c = rng.random_range(0..4u32);
+            let center = c as f64 * 10.0;
+            let v = center + iam_data::synth::normal(&mut rng);
+            cats.push(c);
+            vals.push(v);
+        }
+        Table::new(
+            "corr",
+            vec![
+                Column::Categorical(CatColumn::from_codes_dense("c", cats, 4)),
+                Column::Continuous(ContColumn::new("x", vals)),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn quick_cfg() -> IamConfig {
+        IamConfig {
+            components: 8,
+            reduce_threshold: 100,
+            epochs: 6,
+            hidden: vec![48, 48],
+            embed_dim: 8,
+            batch_size: 256,
+            samples: 300,
+            seed: 7,
+            ..IamConfig::default()
+        }
+    }
+
+    #[test]
+    fn training_loss_decreases() {
+        let t = corr_table(4000, 1);
+        let est = IamEstimator::fit(&t, quick_cfg());
+        let first = est.stats.first().unwrap().ar_loss;
+        let last = est.stats.last().unwrap().ar_loss;
+        assert!(last < first, "AR loss should fall: {first} -> {last}");
+    }
+
+    #[test]
+    fn unconstrained_query_estimates_one() {
+        let t = corr_table(2000, 2);
+        let mut est = IamEstimator::fit(&t, quick_cfg());
+        let sel = est.estimate(&RangeQuery::unconstrained(2));
+        assert!((sel - 1.0).abs() < 1e-9, "{sel}");
+    }
+
+    #[test]
+    fn impossible_query_estimates_zero() {
+        let t = corr_table(2000, 3);
+        let mut est = IamEstimator::fit(&t, quick_cfg());
+        let mut rq = RangeQuery::unconstrained(2);
+        rq.cols[1] = Some(Interval::closed(1e6, 2e6));
+        assert_eq!(est.estimate(&rq), 0.0);
+    }
+
+    #[test]
+    fn estimates_track_truth_on_correlated_data() {
+        let t = corr_table(8000, 4);
+        let mut est = IamEstimator::fit(&t, quick_cfg());
+        let mut gen =
+            WorkloadGenerator::new(&t, WorkloadConfig::default(), 99);
+        let mut errs = Vec::new();
+        for q in gen.gen_queries(40) {
+            let truth = exact_selectivity(&t, &q);
+            let (rq, _) = q.normalize(2).unwrap();
+            let sel = est.estimate(&rq);
+            errs.push(iam_data::q_error(truth, sel, t.nrows()));
+        }
+        errs.sort_by(f64::total_cmp);
+        let median = errs[errs.len() / 2];
+        assert!(median < 2.0, "median q-error too high: {median} ({errs:?})");
+    }
+
+    #[test]
+    fn conditional_structure_is_learned() {
+        // query: cluster = 3 AND x in cluster-3's range should be ≈ P(c=3);
+        // cluster = 3 AND x in cluster-0's range should be ≈ 0
+        let t = corr_table(8000, 5);
+        let mut est = IamEstimator::fit(&t, quick_cfg());
+        let q_hit = Query::new(vec![
+            Predicate { col: 0, op: Op::Eq, value: 3.0 },
+            Predicate { col: 1, op: Op::Ge, value: 27.0 },
+        ]);
+        let q_miss = Query::new(vec![
+            Predicate { col: 0, op: Op::Eq, value: 3.0 },
+            Predicate { col: 1, op: Op::Le, value: 3.0 },
+        ]);
+        let (rq_hit, _) = q_hit.normalize(2).unwrap();
+        let (rq_miss, _) = q_miss.normalize(2).unwrap();
+        let sel_hit = est.estimate(&rq_hit);
+        let sel_miss = est.estimate(&rq_miss);
+        let truth_hit = exact_selectivity(&t, &q_hit);
+        assert!(
+            (sel_hit - truth_hit).abs() < 0.08,
+            "hit: est {sel_hit} truth {truth_hit}"
+        );
+        assert!(sel_miss < 0.02, "miss: {sel_miss}");
+    }
+
+    #[test]
+    fn neurocard_mode_also_works() {
+        let t = corr_table(4000, 6);
+        let cfg = neurocard_lite(IamConfig { factorize_threshold: 512, ..quick_cfg() });
+        let mut est = IamEstimator::fit(&t, cfg);
+        assert_eq!(est.name(), "Neurocard");
+        // continuous column (≈4000 distinct > 512) must be factorised
+        assert!(est.schema.nslots() == 3, "nslots = {}", est.schema.nslots());
+        let mut gen = WorkloadGenerator::new(&t, WorkloadConfig::default(), 77);
+        let mut errs = Vec::new();
+        for q in gen.gen_queries(30) {
+            let truth = exact_selectivity(&t, &q);
+            let (rq, _) = q.normalize(2).unwrap();
+            errs.push(iam_data::q_error(truth, est.estimate(&rq), t.nrows()));
+        }
+        errs.sort_by(f64::total_cmp);
+        assert!(errs[errs.len() / 2] < 3.0, "median {}", errs[errs.len() / 2]);
+    }
+
+    #[test]
+    fn batch_and_single_inference_agree_statistically() {
+        let t = corr_table(4000, 8);
+        let mut est = IamEstimator::fit(&t, quick_cfg());
+        let mut gen = WorkloadGenerator::new(&t, WorkloadConfig::default(), 13);
+        let queries = gen.gen_queries(8);
+        let rqs: Vec<RangeQuery> =
+            queries.iter().map(|q| q.normalize(2).unwrap().0).collect();
+        let batch = est.estimate_batch(&rqs);
+        for (rq, &b) in rqs.iter().zip(&batch) {
+            let single = est.estimate(rq);
+            // same model, fresh randomness: close but not identical
+            assert!(
+                (single - b).abs() < 0.08 + 0.3 * b,
+                "single {single} vs batch {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn model_size_reflects_reduction() {
+        let t = corr_table(4000, 9);
+        let iam = IamEstimator::fit(&t, quick_cfg());
+        let nc = IamEstimator::fit(
+            &t,
+            neurocard_lite(IamConfig { factorize_threshold: 512, ..quick_cfg() }),
+        );
+        assert!(
+            iam.model_size_bytes() < nc.model_size_bytes(),
+            "IAM {} should be smaller than Neurocard {}",
+            iam.model_size_bytes(),
+            nc.model_size_bytes()
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! Unbiased progressive sampling (paper §5.2, Algorithm 1), batched.
+//!
+//! For each query, `S_p` samples advance slot by slot. At slot `i` the AR
+//! conditional `P̂_AR(A'_i | s_<i)` is renormalised over the constrained
+//! support; for a GMM-reduced column the support is the whole reduced
+//! domain and the conditional is re-weighted by `P̂_GMM(R_i)` — the bias
+//! correction that makes the sampler unbiased (Theorem 5.1). The factor
+//! `P̂(A_i ∈ R_i | s_<i)` multiplies into the sample's running probability;
+//! the query estimate is the mean over its samples.
+
+use crate::schema::{IamSchema, SlotConstraint};
+use iam_nn::MadeNet;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Batched progressive-sampling estimator.
+///
+/// `plans[q]` is the slot-constraint plan for query `q` (`None` → provably
+/// empty, estimate 0). Returns one selectivity per query.
+pub fn estimate_batch(
+    net: &mut MadeNet,
+    schema: &IamSchema,
+    plans: &[Option<Vec<SlotConstraint>>],
+    samples_per_query: usize,
+    rng: &mut StdRng,
+) -> Vec<f64> {
+    let nslots = schema.nslots();
+    let sp = samples_per_query.max(1);
+    // map live queries to sample-row blocks
+    let live: Vec<usize> = (0..plans.len()).filter(|&q| plans[q].is_some()).collect();
+    let mut results = vec![0.0f64; plans.len()];
+    if live.is_empty() {
+        return results;
+    }
+    let rows = live.len() * sp;
+
+    // sample state: all slots start at their MASK token
+    let mut inputs: Vec<usize> = Vec::with_capacity(rows * nslots);
+    for _ in 0..rows {
+        for s in 0..nslots {
+            inputs.push(net.mask_token(s));
+        }
+    }
+    let mut p_hat = vec![1.0f64; rows];
+
+    // scratch
+    let mut gather_rows: Vec<usize> = Vec::new();
+    let mut gather_inputs: Vec<usize> = Vec::new();
+    let mut logits: Vec<f32> = Vec::new();
+    let mut probs: Vec<f32> = Vec::new();
+    let mut weighted: Vec<f64> = Vec::new();
+
+    for slot in 0..nslots {
+        // which rows need a model forward at this slot?
+        gather_rows.clear();
+        for (li, &q) in live.iter().enumerate() {
+            let plan = plans[q].as_ref().expect("live query has a plan");
+            if plan[slot] == SlotConstraint::Wildcard {
+                continue;
+            }
+            for s in 0..sp {
+                let row = li * sp + s;
+                if p_hat[row] > 0.0 {
+                    gather_rows.push(row);
+                }
+            }
+        }
+        if gather_rows.is_empty() {
+            continue;
+        }
+        // compact forward over just those rows
+        gather_inputs.clear();
+        for &row in &gather_rows {
+            gather_inputs.extend_from_slice(&inputs[row * nslots..(row + 1) * nslots]);
+        }
+        net.forward_column(&gather_inputs, gather_rows.len(), slot, &mut logits);
+        let width = net.domain_size(slot);
+
+        for (gi, &row) in gather_rows.iter().enumerate() {
+            let q = live[row / sp];
+            let plan = plans[q].as_ref().expect("live query has a plan");
+            net.row_softmax(&logits, gi, width, &mut probs);
+            let picked = match &plan[slot] {
+                SlotConstraint::Wildcard => unreachable!("wildcards were filtered"),
+                SlotConstraint::Range(a, b) => {
+                    sample_range(&probs, *a, *b, &mut p_hat[row], rng)
+                }
+                SlotConstraint::Weights(w) => {
+                    debug_assert_eq!(w.len(), width);
+                    weighted.clear();
+                    weighted.extend(probs.iter().zip(w).map(|(&p, &m)| p as f64 * m));
+                    sample_weighted(&weighted, &mut p_hat[row], rng)
+                }
+                SlotConstraint::FactorLo { lo_idx, hi_idx, base } => {
+                    let hi_sampled = inputs[row * nslots + slot - 1];
+                    let first_block = lo_idx / base;
+                    let last_block = hi_idx / base;
+                    let a = if hi_sampled == first_block { lo_idx % base } else { 0 };
+                    let b = if hi_sampled == last_block { hi_idx % base } else { base - 1 };
+                    let b = b.min(width - 1);
+                    if a > b {
+                        p_hat[row] = 0.0;
+                        None
+                    } else {
+                        sample_range(&probs, a, b, &mut p_hat[row], rng)
+                    }
+                }
+            };
+            if let Some(v) = picked {
+                inputs[row * nslots + slot] = v;
+            }
+        }
+    }
+
+    for (li, &q) in live.iter().enumerate() {
+        let block = &p_hat[li * sp..(li + 1) * sp];
+        results[q] = (block.iter().sum::<f64>() / sp as f64).clamp(0.0, 1.0);
+    }
+    results
+}
+
+/// Renormalise `probs` over `[a, b]`, fold the mass into `p_hat` and draw an
+/// index. Returns `None` (and kills the sample) on zero mass.
+fn sample_range(
+    probs: &[f32],
+    a: usize,
+    b: usize,
+    p_hat: &mut f64,
+    rng: &mut StdRng,
+) -> Option<usize> {
+    debug_assert!(a <= b && b < probs.len());
+    let mass: f64 = probs[a..=b].iter().map(|&p| p as f64).sum();
+    if mass <= 0.0 {
+        *p_hat = 0.0;
+        return None;
+    }
+    *p_hat *= mass.min(1.0);
+    let u = rng.random::<f64>() * mass;
+    let mut acc = 0.0;
+    for (j, &p) in probs[a..=b].iter().enumerate() {
+        acc += p as f64;
+        if u <= acc {
+            return Some(a + j);
+        }
+    }
+    Some(b)
+}
+
+/// Same, but over an already bias-corrected weight vector (`p_AR × P̂_GMM`).
+fn sample_weighted(weighted: &[f64], p_hat: &mut f64, rng: &mut StdRng) -> Option<usize> {
+    let mass: f64 = weighted.iter().sum();
+    if mass <= 0.0 {
+        *p_hat = 0.0;
+        return None;
+    }
+    *p_hat *= mass.min(1.0);
+    let u = rng.random::<f64>() * mass;
+    let mut acc = 0.0;
+    for (j, &p) in weighted.iter().enumerate() {
+        acc += p;
+        if u <= acc {
+            return Some(j);
+        }
+    }
+    Some(weighted.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_range_masses_accumulate() {
+        let probs = vec![0.1f32, 0.2, 0.3, 0.4];
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut p_hat = 1.0;
+        let v = sample_range(&probs, 1, 2, &mut p_hat, &mut rng).unwrap();
+        assert!((1..=2).contains(&v));
+        assert!((p_hat - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_mass_kills_sample() {
+        let probs = vec![0.5f32, 0.0, 0.0, 0.5];
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut p_hat = 1.0;
+        assert!(sample_range(&probs, 1, 2, &mut p_hat, &mut rng).is_none());
+        assert_eq!(p_hat, 0.0);
+    }
+
+    #[test]
+    fn weighted_sampling_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let weighted = vec![0.0, 0.25, 0.75, 0.0];
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            let mut p = 1.0;
+            counts[sample_weighted(&weighted, &mut p, &mut rng).unwrap()] += 1;
+        }
+        assert_eq!(counts[0] + counts[3], 0);
+        let frac = counts[2] as f64 / 4000.0;
+        assert!((frac - 0.75).abs() < 0.03, "{frac}");
+    }
+}

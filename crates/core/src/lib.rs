@@ -1,0 +1,35 @@
+//! IAM — the paper's estimator: GMM domain reduction + ResMADE + unbiased
+//! progressive sampling.
+//!
+//! The crate exposes:
+//!
+//! * [`reduce`] — the [`reduce::DomainReducer`] abstraction and its four
+//!   implementations: GMM (the paper's choice, §4.2), equi-depth histogram,
+//!   spline histogram and uniform mixture model (the §6.6 alternatives);
+//! * [`schema`] — per-column handling (direct / reduced / factorised),
+//!   slot layout for the AR model, row encoding and query construction
+//!   (§5.1);
+//! * [`train`] — the joint end-to-end training loop (Eq. 6) with wildcard
+//!   skipping;
+//! * [`infer`] — the unbiased progressive-sampling estimator (§5.2,
+//!   Algorithm 1) with batched inference;
+//! * [`estimator`] — [`estimator::IamEstimator`] (implements
+//!   `SelectivityEstimator`) plus [`estimator::neurocard_lite`], the
+//!   Neurocard-style AR baseline (column factorisation, no reduction);
+//! * [`aqp`] — AVG/SUM/COUNT aggregate estimation over predicate regions
+//!   (the paper's stated future-work extension).
+
+#![deny(missing_docs)]
+
+pub mod aqp;
+pub mod config;
+pub mod estimator;
+pub mod infer;
+pub mod persist;
+pub mod reduce;
+pub mod schema;
+pub mod train;
+
+pub use config::{IamConfig, RangeMassMode, ReducerKind};
+pub use estimator::{neurocard_lite, IamEstimator};
+pub use schema::{ColumnHandler, IamSchema, SlotConstraint};

@@ -1,0 +1,419 @@
+//! Model persistence: save a trained [`IamEstimator`] to a compact binary
+//! snapshot and load it back for inference.
+//!
+//! The format is self-contained and dependency-free (little-endian, magic
+//! `IAM1`): the configuration, the per-column handlers (ordinal
+//! dictionaries, reducer parameters, factorisation bases) and the AR
+//! network's parameters as one flat tensor in `Parameters::visit_params`
+//! order — network reconstruction is deterministic given the config, so
+//! masks and shapes rebuild identically and only the weights need storing.
+//!
+//! Loaded estimators are fully functional for estimation and can even
+//! resume training (GMM trainers are re-initialised from the loaded
+//! mixtures; the Adam moments start fresh).
+
+use crate::config::{IamConfig, RangeMassMode, ReducerKind};
+use crate::estimator::IamEstimator;
+use crate::reduce::{DomainReducer, GmmReducer, HistReducer, SplineReducer, UmmReducer};
+use crate::schema::{ColumnHandler, IamSchema};
+use iam_data::{ColumnEncoding, SelectivityEstimator};
+use iam_gmm::Gmm1d;
+use iam_nn::Parameters;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"IAM1";
+
+/// Errors raised by save/load.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The input is not an IAM snapshot or is from an incompatible version.
+    BadFormat(&'static str),
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::BadFormat(m) => write!(f, "bad snapshot: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+// --- tiny codec ---------------------------------------------------------
+
+fn w_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn w_f64<W: Write>(w: &mut W, v: f64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn w_vec_f64<W: Write>(w: &mut W, v: &[f64]) -> io::Result<()> {
+    w_u64(w, v.len() as u64)?;
+    for &x in v {
+        w_f64(w, x)?;
+    }
+    Ok(())
+}
+fn w_vec_f32<W: Write>(w: &mut W, v: &[f32]) -> io::Result<()> {
+    w_u64(w, v.len() as u64)?;
+    for &x in v {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    Ok(())
+}
+fn w_str<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
+    w_u64(w, s.len() as u64)?;
+    w.write_all(s.as_bytes())
+}
+
+fn r_u64<R: Read>(r: &mut R) -> Result<u64, PersistError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+fn r_f64<R: Read>(r: &mut R) -> Result<f64, PersistError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+fn r_len<R: Read>(r: &mut R) -> Result<usize, PersistError> {
+    let n = r_u64(r)?;
+    if n > (1 << 34) {
+        return Err(PersistError::BadFormat("implausible length"));
+    }
+    Ok(n as usize)
+}
+fn r_vec_f64<R: Read>(r: &mut R) -> Result<Vec<f64>, PersistError> {
+    let n = r_len(r)?;
+    (0..n).map(|_| r_f64(r)).collect()
+}
+fn r_vec_f32<R: Read>(r: &mut R) -> Result<Vec<f32>, PersistError> {
+    let n = r_len(r)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut b = [0u8; 4];
+        r.read_exact(&mut b)?;
+        out.push(f32::from_le_bytes(b));
+    }
+    Ok(out)
+}
+fn r_str<R: Read>(r: &mut R) -> Result<String, PersistError> {
+    let n = r_len(r)?;
+    let mut b = vec![0u8; n];
+    r.read_exact(&mut b)?;
+    String::from_utf8(b).map_err(|_| PersistError::BadFormat("non-utf8 string"))
+}
+
+// --- reducer round-trip --------------------------------------------------
+
+fn write_reducer<W: Write>(w: &mut W, r: &dyn DomainReducer) -> io::Result<()> {
+    match r.name() {
+        "GMM" => {
+            let g = r.as_gmm().expect("GMM reducer").gmm();
+            w.write_all(&[0u8])?;
+            w_vec_f64(w, &g.weights)?;
+            w_vec_f64(w, &g.means)?;
+            w_vec_f64(w, &g.stds)
+        }
+        "Hist" => {
+            w.write_all(&[1u8])?;
+            w_vec_f64(w, r.export_params().first().expect("hist bounds"))
+        }
+        "Spline" => {
+            let p = r.export_params();
+            w.write_all(&[2u8])?;
+            w_vec_f64(w, &p[0])?;
+            w_vec_f64(w, &p[1])
+        }
+        "UMM" => {
+            let p = r.export_params();
+            w.write_all(&[3u8])?;
+            w_vec_f64(w, &p[0])?;
+            w_vec_f64(w, &p[1])?;
+            w_vec_f64(w, &p[2])
+        }
+        other => panic!("unknown reducer {other}"),
+    }
+}
+
+fn read_reducer<R: Read>(
+    r: &mut R,
+    mode: RangeMassMode,
+    seed: u64,
+) -> Result<Box<dyn DomainReducer>, PersistError> {
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    Ok(match tag[0] {
+        0 => {
+            let weights = r_vec_f64(r)?;
+            let means = r_vec_f64(r)?;
+            let stds = r_vec_f64(r)?;
+            Box::new(GmmReducer::new(Gmm1d::new(weights, means, stds), mode, seed))
+        }
+        1 => Box::new(HistReducer::from_bounds(r_vec_f64(r)?)),
+        2 => {
+            let x = r_vec_f64(r)?;
+            let f = r_vec_f64(r)?;
+            Box::new(SplineReducer::from_knots(x, f))
+        }
+        3 => {
+            let lo = r_vec_f64(r)?;
+            let hi = r_vec_f64(r)?;
+            let weights = r_vec_f64(r)?;
+            Box::new(UmmReducer::from_parts(lo, hi, weights))
+        }
+        _ => return Err(PersistError::BadFormat("unknown reducer tag")),
+    })
+}
+
+// --- estimator round-trip --------------------------------------------------
+
+impl IamEstimator {
+    /// Serialise a trained estimator.
+    pub fn save<W: Write>(&mut self, w: &mut W) -> Result<(), PersistError> {
+        w.write_all(MAGIC)?;
+        // config (everything needed to rebuild the net + inference behaviour)
+        let c = &self.cfg;
+        w_u64(w, c.components as u64)?;
+        w_u64(w, u64::from(c.auto_components))?;
+        w_u64(w, c.reduce_threshold as u64)?;
+        w.write_all(&[match c.reducer {
+            ReducerKind::Gmm => 0u8,
+            ReducerKind::Hist => 1,
+            ReducerKind::Spline => 2,
+            ReducerKind::Umm => 3,
+        }])?;
+        w_u64(w, u64::from(c.reduce_continuous))?;
+        w_u64(w, c.factorize_threshold as u64)?;
+        w_u64(w, c.hidden.len() as u64)?;
+        for &h in &c.hidden {
+            w_u64(w, h as u64)?;
+        }
+        w_u64(w, c.embed_dim as u64)?;
+        w_f64(w, c.lr as f64)?;
+        w_u64(w, u64::from(c.wildcard_skipping))?;
+        w_u64(w, u64::from(c.hard_range_weights))?;
+        w_u64(w, c.samples as u64)?;
+        match c.range_mass {
+            RangeMassMode::Exact => w_u64(w, 0)?,
+            RangeMassMode::MonteCarlo { samples_per_component } => {
+                w_u64(w, samples_per_component as u64)?
+            }
+        }
+        w_u64(w, c.seed)?;
+        w_str(w, self.name())?;
+        w_u64(w, self.nrows() as u64)?;
+
+        // schema handlers
+        let schema = &self.schema;
+        w_u64(w, schema.handlers.len() as u64)?;
+        for h in &schema.handlers {
+            match h {
+                ColumnHandler::Direct(enc) => {
+                    w.write_all(&[0u8])?;
+                    w_vec_f64(w, &enc.distinct)?;
+                }
+                ColumnHandler::Reduced(r) => {
+                    w.write_all(&[1u8])?;
+                    write_reducer(w, r.as_ref())?;
+                }
+                ColumnHandler::Factorized { enc, base } => {
+                    w.write_all(&[2u8])?;
+                    w_u64(w, *base as u64)?;
+                    w_vec_f64(w, &enc.distinct)?;
+                }
+            }
+        }
+
+        // network parameters, flat
+        let mut flat: Vec<f32> = Vec::new();
+        self.net_mut().visit_params(&mut |p, _| flat.extend_from_slice(p));
+        w_vec_f32(w, &flat)?;
+        Ok(())
+    }
+
+    /// Deserialise an estimator saved by [`Self::save`].
+    pub fn load<R: Read>(r: &mut R) -> Result<IamEstimator, PersistError> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(PersistError::BadFormat("missing IAM1 magic"));
+        }
+        let components = r_len(r)?;
+        let auto_components = r_u64(r)? != 0;
+        let reduce_threshold = r_len(r)?;
+        let mut tag = [0u8; 1];
+        r.read_exact(&mut tag)?;
+        let reducer = match tag[0] {
+            0 => ReducerKind::Gmm,
+            1 => ReducerKind::Hist,
+            2 => ReducerKind::Spline,
+            3 => ReducerKind::Umm,
+            _ => return Err(PersistError::BadFormat("bad reducer kind")),
+        };
+        let reduce_continuous = r_u64(r)? != 0;
+        let factorize_threshold = r_len(r)?;
+        let nh = r_len(r)?;
+        let hidden: Vec<usize> = (0..nh).map(|_| r_len(r)).collect::<Result<_, _>>()?;
+        let embed_dim = r_len(r)?;
+        let lr = r_f64(r)? as f32;
+        let wildcard_skipping = r_u64(r)? != 0;
+        let hard_range_weights = r_u64(r)? != 0;
+        let samples = r_len(r)?;
+        let mc = r_len(r)?;
+        let range_mass = if mc == 0 {
+            RangeMassMode::Exact
+        } else {
+            RangeMassMode::MonteCarlo { samples_per_component: mc }
+        };
+        let seed = r_u64(r)?;
+        let name = r_str(r)?;
+        let nrows = r_len(r)?;
+
+        let cfg = IamConfig {
+            components,
+            auto_components,
+            reduce_threshold,
+            reducer,
+            reduce_continuous,
+            factorize_threshold,
+            hidden,
+            embed_dim,
+            lr,
+            wildcard_skipping,
+            hard_range_weights,
+            samples,
+            range_mass,
+            seed,
+            ..IamConfig::default()
+        };
+
+        // handlers
+        let nc = r_len(r)?;
+        let mut handlers = Vec::with_capacity(nc);
+        for _ in 0..nc {
+            let mut t = [0u8; 1];
+            r.read_exact(&mut t)?;
+            handlers.push(match t[0] {
+                0 => ColumnHandler::Direct(ColumnEncoding { distinct: r_vec_f64(r)? }),
+                1 => ColumnHandler::Reduced(read_reducer(r, range_mass, seed ^ 0x9e3779b9)?),
+                2 => {
+                    let base = r_len(r)?;
+                    ColumnHandler::Factorized {
+                        base,
+                        enc: ColumnEncoding { distinct: r_vec_f64(r)? },
+                    }
+                }
+                _ => return Err(PersistError::BadFormat("bad handler tag")),
+            });
+        }
+        let mut schema = IamSchema::from_handlers(handlers, wildcard_skipping);
+        schema.hard_range_weights = hard_range_weights;
+
+        let flat = r_vec_f32(r)?;
+        let mut est = IamEstimator::from_parts(cfg, schema, nrows, &name)?;
+        let mut cursor = 0usize;
+        let mut overflow = false;
+        est.net_mut().visit_params(&mut |p, _| {
+            if cursor + p.len() <= flat.len() {
+                p.copy_from_slice(&flat[cursor..cursor + p.len()]);
+            } else {
+                overflow = true;
+            }
+            cursor += p.len();
+        });
+        if overflow || cursor != flat.len() {
+            return Err(PersistError::BadFormat("parameter tensor size mismatch"));
+        }
+        Ok(est)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iam_data::synth::Dataset;
+    use iam_data::{SelectivityEstimator, WorkloadConfig, WorkloadGenerator};
+
+    fn cfg() -> IamConfig {
+        IamConfig {
+            components: 8,
+            hidden: vec![48, 48],
+            embed_dim: 8,
+            epochs: 3,
+            samples: 300,
+            seed: 17,
+            ..IamConfig::default()
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_estimates() {
+        let table = Dataset::Twi.generate(4000, 1);
+        let mut est = IamEstimator::fit(&table, cfg());
+        let mut buf = Vec::new();
+        est.save(&mut buf).unwrap();
+
+        let mut loaded = IamEstimator::load(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.name(), est.name());
+        assert_eq!(loaded.model_size_bytes(), est.model_size_bytes());
+
+        // identical seeds → identical sampling → identical estimates
+        let mut gen = WorkloadGenerator::new(&table, WorkloadConfig::default(), 5);
+        est.reseed(99);
+        loaded.reseed(99);
+        for q in gen.gen_queries(10) {
+            let (rq, _) = q.normalize(2).unwrap();
+            let a = est.estimate(&rq);
+            let b = loaded.estimate(&rq);
+            assert!((a - b).abs() < 1e-12, "estimates diverge: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn loaded_model_can_resume_training() {
+        let table = Dataset::Twi.generate(3000, 2);
+        let mut est = IamEstimator::fit(&table, cfg());
+        let mut buf = Vec::new();
+        est.save(&mut buf).unwrap();
+        let mut loaded = IamEstimator::load(&mut buf.as_slice()).unwrap();
+        loaded.train_epochs(&table, 1);
+        assert_eq!(loaded.stats.len(), 1);
+        assert!(loaded.stats[0].ar_loss.is_finite());
+    }
+
+    #[test]
+    fn garbage_input_is_rejected() {
+        assert!(IamEstimator::load(&mut &b"NOPE"[..]).is_err());
+        assert!(IamEstimator::load(&mut &b"IAM1\x01\x02"[..]).is_err());
+    }
+
+    #[test]
+    fn alternative_reducers_round_trip() {
+        for kind in [ReducerKind::Hist, ReducerKind::Spline, ReducerKind::Umm] {
+            let table = Dataset::Twi.generate(2500, 3);
+            let c = IamConfig { reducer: kind, ..cfg() };
+            let mut est = IamEstimator::fit(&table, c);
+            let mut buf = Vec::new();
+            est.save(&mut buf).unwrap();
+            let mut loaded = IamEstimator::load(&mut buf.as_slice()).unwrap();
+            est.reseed(7);
+            loaded.reseed(7);
+            let mut gen = WorkloadGenerator::new(&table, WorkloadConfig::default(), 4);
+            for q in gen.gen_queries(5) {
+                let (rq, _) = q.normalize(2).unwrap();
+                assert!((est.estimate(&rq) - loaded.estimate(&rq)).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! The paper's reducer: one 1-D Gaussian mixture per column.
+
+use super::DomainReducer;
+use crate::config::RangeMassMode;
+use iam_data::Interval;
+use iam_gmm::model::ComponentSamples;
+use iam_gmm::Gmm1d;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// GMM-backed domain reducer (paper §4.2).
+#[derive(Clone)]
+pub struct GmmReducer {
+    gmm: Gmm1d,
+    mode: RangeMassMode,
+    /// Pre-drawn per-component samples for the Monte-Carlo mode; `None` in
+    /// exact mode. Rebuilt whenever the mixture is updated.
+    samples: Option<ComponentSamples>,
+    sample_seed: u64,
+}
+
+impl GmmReducer {
+    /// Wrap a fitted mixture.
+    pub fn new(gmm: Gmm1d, mode: RangeMassMode, sample_seed: u64) -> Self {
+        let mut r = GmmReducer { gmm, mode, samples: None, sample_seed };
+        r.rebuild_samples();
+        r
+    }
+
+    fn rebuild_samples(&mut self) {
+        self.samples = match self.mode {
+            RangeMassMode::Exact => None,
+            RangeMassMode::MonteCarlo { samples_per_component } => {
+                let mut rng = StdRng::seed_from_u64(self.sample_seed);
+                Some(ComponentSamples::new(&self.gmm, samples_per_component, &mut rng))
+            }
+        };
+    }
+
+    /// Replace the mixture (joint training updates it every batch). Any
+    /// Monte-Carlo sample cache is invalidated and lazily rebuilt by
+    /// [`DomainReducer::finalize`]; until then range masses fall back to the
+    /// exact CDF form.
+    pub fn set_gmm(&mut self, gmm: Gmm1d) {
+        self.gmm = gmm;
+        self.samples = None;
+    }
+
+    /// Borrow the underlying mixture.
+    pub fn gmm(&self) -> &Gmm1d {
+        &self.gmm
+    }
+}
+
+impl DomainReducer for GmmReducer {
+    fn name(&self) -> &'static str {
+        "GMM"
+    }
+
+    fn k(&self) -> usize {
+        self.gmm.k()
+    }
+
+    fn reduce(&self, v: f64) -> usize {
+        self.gmm.assign(v)
+    }
+
+    fn range_mass(&self, iv: &Interval, out: &mut Vec<f64>) {
+        // open/closed bounds coincide for a continuous density
+        match &self.samples {
+            None => {
+                out.clear();
+                out.extend(self.gmm.range_mass_exact(iv.lo, iv.hi));
+            }
+            Some(cs) => {
+                out.clear();
+                out.extend(cs.range_mass(iv.lo, iv.hi));
+            }
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        // only the 3K mixture parameters persist in a serialized model; the
+        // MC sample cache is a query-time scratch structure
+        self.gmm.size_bytes()
+    }
+
+    fn finalize(&mut self) {
+        self.rebuild_samples();
+    }
+
+    fn as_gmm_mut(&mut self) -> Option<&mut GmmReducer> {
+        Some(self)
+    }
+
+    fn as_gmm(&self) -> Option<&GmmReducer> {
+        Some(self)
+    }
+
+    fn clone_box(&self) -> Box<dyn DomainReducer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduce::testutil::empirical_consistency;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fitted() -> (Gmm1d, Vec<f64>) {
+        let truth = Gmm1d::new(vec![0.5, 0.5], vec![-3.0, 3.0], vec![0.8, 0.8]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let data: Vec<f64> = (0..20_000).map(|_| truth.sample(&mut rng)).collect();
+        let fit = iam_gmm::fit_em(&data, 2, 100, 1e-9).gmm;
+        (fit, data)
+    }
+
+    #[test]
+    fn consistency_against_empirical_fraction() {
+        let (gmm, data) = fitted();
+        let r = GmmReducer::new(gmm, RangeMassMode::Exact, 0);
+        for (lo, hi) in [(-4.0, -2.0), (-1.0, 4.0), (2.5, 3.5)] {
+            let (est, truth) = empirical_consistency(&r, &data, &Interval::closed(lo, hi));
+            assert!((est - truth).abs() < 0.02, "[{lo},{hi}]: est {est} truth {truth}");
+        }
+    }
+
+    #[test]
+    fn mc_mode_tracks_exact_mode() {
+        let (gmm, _) = fitted();
+        let exact = GmmReducer::new(gmm.clone(), RangeMassMode::Exact, 0);
+        let mc = GmmReducer::new(
+            gmm,
+            RangeMassMode::MonteCarlo { samples_per_component: 10_000 },
+            7,
+        );
+        let iv = Interval::closed(-2.0, 3.0);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        exact.range_mass(&iv, &mut a);
+        mc.range_mass(&iv, &mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 0.03, "exact {x} vs mc {y}");
+        }
+    }
+
+    #[test]
+    fn full_range_has_unit_mass() {
+        let (gmm, _) = fitted();
+        let r = GmmReducer::new(gmm, RangeMassMode::Exact, 0);
+        let mut m = Vec::new();
+        r.range_mass(&Interval::full(), &mut m);
+        assert!(m.iter().all(|&x| (x - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn reduce_is_argmax_assignment() {
+        let (gmm, _) = fitted();
+        let r = GmmReducer::new(gmm.clone(), RangeMassMode::Exact, 0);
+        assert_eq!(r.reduce(-3.0), gmm.assign(-3.0));
+        assert_eq!(r.k(), 2);
+        assert_eq!(r.size_bytes(), 48);
+    }
+}

@@ -1,0 +1,102 @@
+//! Domain reduction: map a huge continuous domain onto `K` reduced values.
+//!
+//! A [`DomainReducer`] supplies the two operations the IAM pipeline needs:
+//! `reduce(v)` — the reduced attribute value `a'` fed to the AR model — and
+//! `range_mass(R)` — the per-reduced-value probability `P(v ∈ R | a' = k)`
+//! that corrects progressive sampling for range queries (§5.2).
+
+pub mod gmm;
+pub mod hist;
+pub mod spline;
+pub mod umm;
+
+pub use gmm::GmmReducer;
+pub use hist::HistReducer;
+pub use spline::SplineReducer;
+pub use umm::UmmReducer;
+
+use iam_data::Interval;
+
+/// Maps raw continuous values into `[0, k)` and answers range-mass queries.
+pub trait DomainReducer: Send + Sync {
+    /// Reducer family name (for tables).
+    fn name(&self) -> &'static str;
+
+    /// Number of reduced values `K`.
+    fn k(&self) -> usize;
+
+    /// The reduced value of `v` (paper Eq. 5 for GMMs).
+    fn reduce(&self, v: f64) -> usize;
+
+    /// `out[j] = P(value ∈ iv | reduced value = j)` — the bias-correction
+    /// vector `P̂_GMM(R_i)` of §5.2 (its analogue for the other reducers).
+    fn range_mass(&self, iv: &Interval, out: &mut Vec<f64>);
+
+    /// Model footprint in bytes.
+    fn size_bytes(&self) -> usize;
+
+    /// Rebuild any query-time caches after training mutated the model
+    /// (e.g. the Monte-Carlo component-sample cache). Default: no-op.
+    fn finalize(&mut self) {}
+
+    /// Downcast hook for the joint training loop, which refreshes GMM
+    /// parameters every mini-batch. Non-GMM reducers return `None`.
+    fn as_gmm_mut(&mut self) -> Option<&mut GmmReducer> {
+        None
+    }
+
+    /// Read-only downcast counterpart of [`Self::as_gmm_mut`].
+    fn as_gmm(&self) -> Option<&GmmReducer> {
+        None
+    }
+
+    /// Export the reducer's parameter vectors for persistence (see
+    /// `iam-core::persist`). GMM reducers are saved via [`Self::as_gmm`]
+    /// instead and may leave this empty.
+    fn export_params(&self) -> Vec<Vec<f64>> {
+        Vec::new()
+    }
+
+    /// Clone into a box (reducers are held behind `dyn`).
+    fn clone_box(&self) -> Box<dyn DomainReducer>;
+}
+
+impl Clone for Box<dyn DomainReducer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Clamp an interval to finite bounds for reducers that need them.
+pub(crate) fn clamp_interval(iv: &Interval, lo_default: f64, hi_default: f64) -> (f64, f64) {
+    let lo = if iv.lo == f64::NEG_INFINITY { lo_default } else { iv.lo };
+    let hi = if iv.hi == f64::INFINITY { hi_default } else { iv.hi };
+    (lo, hi)
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::DomainReducer;
+    use iam_data::Interval;
+
+    /// Reference check used by every reducer's tests: the estimator
+    /// `Σ_j count(a'=j) · range_mass(R)[j] / n` should approximate the true
+    /// fraction of values in `R`, when the reducer fits the data well.
+    pub fn empirical_consistency(reducer: &dyn DomainReducer, values: &[f64], iv: &Interval) -> (f64, f64) {
+        let n = values.len() as f64;
+        let mut counts = vec![0usize; reducer.k()];
+        for &v in values {
+            counts[reducer.reduce(v)] += 1;
+        }
+        let mut mass = Vec::new();
+        reducer.range_mass(iv, &mut mass);
+        let est: f64 = counts
+            .iter()
+            .zip(&mass)
+            .map(|(&c, &m)| c as f64 * m)
+            .sum::<f64>()
+            / n;
+        let truth = values.iter().filter(|&&v| iv.contains(v)).count() as f64 / n;
+        (est, truth)
+    }
+}

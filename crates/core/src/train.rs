@@ -1,0 +1,172 @@
+//! Joint end-to-end training (paper §4.3, Eq. 6).
+//!
+//! Every mini-batch first takes one gradient step on each column's GMM
+//! (`loss_GMM`, Eq. 4), refreshes that column's reducer from the trainer's
+//! snapshot, re-encodes the batch rows with the *current* reducers and then
+//! takes one Adam step on the AR cross-entropy (`loss_AR`, Eq. 3). The
+//! reported loss is their sum. Wildcard skipping masks a random subset of
+//! input columns per tuple (Naru §5.3), leaving targets intact.
+
+use crate::config::IamConfig;
+use crate::schema::{ColumnHandler, IamSchema, SlotRole};
+use iam_data::{Column, Table};
+use iam_gmm::{GmmSgdTrainer, SgdConfig};
+use iam_nn::{Adam, MadeNet};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Per-epoch loss report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochStats {
+    /// Mean per-tuple AR cross-entropy (nats).
+    pub ar_loss: f64,
+    /// Mean per-value GMM negative log-likelihood, summed over reduced
+    /// columns.
+    pub gmm_loss: f64,
+    /// Wall-clock seconds for the epoch.
+    pub seconds: f64,
+}
+
+impl EpochStats {
+    /// Total joint loss (Eq. 6).
+    pub fn total(&self) -> f64 {
+        self.ar_loss + self.gmm_loss
+    }
+}
+
+/// One pass over the table.
+#[allow(clippy::too_many_arguments)]
+pub fn train_epoch(
+    table: &Table,
+    schema: &mut IamSchema,
+    net: &mut MadeNet,
+    opt: &mut Adam,
+    gmm_trainers: &mut [Option<GmmSgdTrainer>],
+    cfg: &IamConfig,
+    rng: &mut StdRng,
+) -> EpochStats {
+    let started = std::time::Instant::now();
+    let n = table.nrows();
+    let ncols = table.ncols();
+    let nslots = schema.nslots();
+    assert!(n > 0, "cannot train on an empty table");
+
+    // epoch shuffle
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        order.swap(i, j);
+    }
+
+    let bs = cfg.batch_size.clamp(1, n);
+    let mut raw_batch: Vec<f64> = Vec::with_capacity(bs);
+    let mut row_f64: Vec<f64> = Vec::with_capacity(ncols);
+    let mut slot_vals: Vec<usize> = Vec::with_capacity(nslots);
+    let mut targets: Vec<usize> = Vec::with_capacity(bs * nslots);
+    let mut inputs: Vec<usize> = Vec::with_capacity(bs * nslots);
+
+    let mut ar_loss_sum = 0.0f64;
+    let mut gmm_loss_sum = 0.0f64;
+    let mut batches = 0usize;
+
+    for chunk in order.chunks(bs) {
+        // 1) GMM gradient step per reduced column (joint training)
+        if cfg.joint_training {
+            for (col, trainer) in gmm_trainers.iter_mut().enumerate() {
+                let Some(trainer) = trainer else { continue };
+                let Column::Continuous(cc) = &table.columns[col] else { continue };
+                raw_batch.clear();
+                raw_batch.extend(chunk.iter().map(|&r| cc.values[r]));
+                gmm_loss_sum += trainer.step(&raw_batch);
+                if let ColumnHandler::Reduced(red) = &mut schema.handlers[col] {
+                    if let Some(g) = red.as_gmm_mut() {
+                        g.set_gmm(trainer.snapshot());
+                    }
+                }
+            }
+        }
+
+        // 2) encode the batch with the current reducers
+        targets.clear();
+        inputs.clear();
+        for &r in chunk {
+            table.row_as_f64(r, &mut row_f64);
+            schema.encode_row(&row_f64, &mut slot_vals);
+            targets.extend_from_slice(&slot_vals);
+            // wildcard skipping: mask a uniform-size random subset of columns
+            if cfg.wildcard_skipping {
+                let k = rng.random_range(0..=ncols);
+                // choose k distinct columns via partial shuffle of col ids
+                let mut cols: Vec<usize> = (0..ncols).collect();
+                for i in 0..k {
+                    let j = rng.random_range(i..ncols);
+                    cols.swap(i, j);
+                }
+                for (slot, role) in schema.slots.iter().enumerate() {
+                    if cols[..k].contains(&role.col()) {
+                        slot_vals[slot] = net.mask_token(slot);
+                    }
+                }
+            }
+            inputs.extend_from_slice(&slot_vals);
+        }
+
+        // 3) AR step
+        ar_loss_sum += net.train_batch(&inputs, &targets, chunk.len()) as f64;
+        opt.step(net);
+        batches += 1;
+    }
+
+    // refresh any query-time caches invalidated by GMM updates
+    for h in &mut schema.handlers {
+        if let ColumnHandler::Reduced(r) = h {
+            r.finalize();
+        }
+    }
+
+    EpochStats {
+        ar_loss: ar_loss_sum / batches.max(1) as f64,
+        gmm_loss: gmm_loss_sum / batches.max(1) as f64,
+        seconds: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// Create the per-column GMM trainers for joint training (only columns whose
+/// handler is a GMM reducer get one).
+pub fn make_gmm_trainers(schema: &IamSchema, cfg: &IamConfig) -> Vec<Option<GmmSgdTrainer>> {
+    schema
+        .handlers
+        .iter()
+        .map(|h| match h {
+            ColumnHandler::Reduced(r) => r.as_gmm().map(|g| {
+                GmmSgdTrainer::from_init(
+                    g.gmm(),
+                    SgdConfig { lr: (cfg.lr as f64) * 2.0, ..Default::default() },
+                )
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Validate a slot/role layout invariant used by the wildcard masker: a
+/// factorised column's two slots are adjacent and share the column id.
+pub fn check_slot_layout(schema: &IamSchema) -> bool {
+    let mut i = 0;
+    while i < schema.slots.len() {
+        match schema.slots[i] {
+            SlotRole::FactorHi { col } => {
+                if i + 1 >= schema.slots.len() {
+                    return false;
+                }
+                match schema.slots[i + 1] {
+                    SlotRole::FactorLo { col: c2 } if c2 == col => i += 2,
+                    _ => return false,
+                }
+            }
+            SlotRole::FactorLo { .. } => return false,
+            SlotRole::Whole { .. } => i += 1,
+        }
+    }
+    true
+}

@@ -1,0 +1,120 @@
+//! Ordinal encoding of column domains.
+//!
+//! The AR model consumes each attribute as an integer in `[0, |A_i|)`
+//! following the paper's encoding strategy (§3): the mapping is the rank of
+//! the value among the sorted distinct values, so order is preserved and
+//! range predicates translate to contiguous index ranges.
+
+use crate::column::Column;
+use crate::query::Interval;
+
+/// The ordinal encoding of one column: its sorted distinct values
+/// (projected to the shared `f64` space).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnEncoding {
+    /// Sorted distinct values; the encoded form of `distinct[i]` is `i`.
+    pub distinct: Vec<f64>,
+}
+
+impl ColumnEncoding {
+    /// Build the encoding for a column by collecting and sorting its
+    /// distinct values.
+    pub fn from_column(col: &Column) -> Self {
+        let mut distinct: Vec<f64> = match col {
+            Column::Categorical(c) => (0..c.dict.len()).map(|i| i as f64).collect(),
+            Column::Continuous(c) => {
+                let mut v = c.values.clone();
+                v.sort_unstable_by(f64::total_cmp);
+                v.dedup();
+                v
+            }
+        };
+        distinct.shrink_to_fit();
+        ColumnEncoding { distinct }
+    }
+
+    /// Domain size `|A_i|`.
+    pub fn domain_size(&self) -> usize {
+        self.distinct.len()
+    }
+
+    /// Encode a raw value to its ordinal, or `None` if absent.
+    pub fn encode(&self, v: f64) -> Option<usize> {
+        self.distinct.binary_search_by(|d| d.total_cmp(&v)).ok()
+    }
+
+    /// Decode an ordinal back to the raw value.
+    pub fn decode(&self, idx: usize) -> f64 {
+        self.distinct[idx]
+    }
+
+    /// Translate a value interval into the inclusive ordinal range
+    /// `[lo_idx, hi_idx]` of distinct values it covers, or `None` when no
+    /// distinct value falls inside.
+    pub fn index_range(&self, iv: &Interval) -> Option<(usize, usize)> {
+        let lo_idx = if iv.lo == f64::NEG_INFINITY {
+            0
+        } else if iv.lo_strict {
+            self.distinct.partition_point(|&d| d <= iv.lo)
+        } else {
+            self.distinct.partition_point(|&d| d < iv.lo)
+        };
+        let hi_end = if iv.hi == f64::INFINITY {
+            self.distinct.len()
+        } else if iv.hi_strict {
+            self.distinct.partition_point(|&d| d < iv.hi)
+        } else {
+            self.distinct.partition_point(|&d| d <= iv.hi)
+        };
+        if lo_idx >= hi_end {
+            None
+        } else {
+            Some((lo_idx, hi_end - 1))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::{CatColumn, ContColumn};
+    use crate::query::Op;
+
+    fn enc() -> ColumnEncoding {
+        ColumnEncoding::from_column(&Column::Continuous(ContColumn::new(
+            "x",
+            vec![5.0, 1.0, 3.0, 1.0, 9.0],
+        )))
+    }
+
+    #[test]
+    fn distinct_sorted_dedup() {
+        let e = enc();
+        assert_eq!(e.distinct, vec![1.0, 3.0, 5.0, 9.0]);
+        assert_eq!(e.domain_size(), 4);
+        assert_eq!(e.encode(3.0), Some(1));
+        assert_eq!(e.encode(4.0), None);
+        assert_eq!(e.decode(2), 5.0);
+    }
+
+    #[test]
+    fn categorical_encoding_is_code_space() {
+        let e = ColumnEncoding::from_column(&Column::Categorical(CatColumn::from_values(
+            "c",
+            &["b", "a", "c", "a"],
+        )));
+        assert_eq!(e.distinct, vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn index_range_closed_and_strict() {
+        let e = enc(); // [1,3,5,9]
+        assert_eq!(e.index_range(&Interval::closed(3.0, 5.0)), Some((1, 2)));
+        assert_eq!(e.index_range(&Interval::from_op(Op::Gt, 3.0)), Some((2, 3)));
+        assert_eq!(e.index_range(&Interval::from_op(Op::Lt, 1.0)), None);
+        assert_eq!(e.index_range(&Interval::from_op(Op::Le, 1.0)), Some((0, 0)));
+        assert_eq!(e.index_range(&Interval::full()), Some((0, 3)));
+        assert_eq!(e.index_range(&Interval::closed(3.5, 4.5)), None);
+        assert_eq!(e.index_range(&Interval::point(9.0)), Some((3, 3)));
+    }
+}

@@ -1,0 +1,60 @@
+//! Error types shared across the data layer.
+
+use std::fmt;
+
+/// Errors raised while constructing or querying tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A column index was out of bounds for the table schema.
+    ColumnOutOfBounds {
+        /// The offending column index.
+        col: usize,
+        /// Number of columns in the schema.
+        ncols: usize,
+    },
+    /// Columns passed to a table constructor had differing lengths.
+    RaggedColumns {
+        /// Length of the first column.
+        expected: usize,
+        /// Length of the offending column.
+        got: usize,
+        /// Index of the offending column.
+        col: usize,
+    },
+    /// A predicate referenced a categorical value absent from the dictionary.
+    UnknownCategory {
+        /// Column index.
+        col: usize,
+        /// The value that was not found.
+        value: String,
+    },
+    /// A predicate's operand type did not match the column type.
+    TypeMismatch {
+        /// Column index.
+        col: usize,
+    },
+    /// The table has zero rows, so selectivities are undefined.
+    EmptyTable,
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::ColumnOutOfBounds { col, ncols } => {
+                write!(f, "column index {col} out of bounds for schema of {ncols} columns")
+            }
+            DataError::RaggedColumns { expected, got, col } => {
+                write!(f, "column {col} has {got} rows but the first column has {expected}")
+            }
+            DataError::UnknownCategory { col, value } => {
+                write!(f, "value {value:?} not present in dictionary of column {col}")
+            }
+            DataError::TypeMismatch { col } => {
+                write!(f, "operand type does not match the type of column {col}")
+            }
+            DataError::EmptyTable => write!(f, "table has no rows"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}

@@ -1,0 +1,122 @@
+//! Exact selectivity computation by columnar scan — the ground truth.
+
+use crate::query::{Query, RangeQuery};
+use crate::table::Table;
+
+/// Count rows of `table` matching the conjunction `q` exactly.
+pub fn exact_count(table: &Table, q: &Query) -> usize {
+    // Columnar evaluation: start from all-true and narrow per predicate,
+    // cheapest-first is unnecessary at our scales.
+    let n = table.nrows();
+    let mut alive: Vec<bool> = vec![true; n];
+    for p in &q.predicates {
+        let col = &table.columns[p.col];
+        match col {
+            crate::column::Column::Categorical(c) => {
+                for (a, &code) in alive.iter_mut().zip(&c.codes) {
+                    if *a && !p.matches(code as f64) {
+                        *a = false;
+                    }
+                }
+            }
+            crate::column::Column::Continuous(c) => {
+                for (a, &v) in alive.iter_mut().zip(&c.values) {
+                    if *a && !p.matches(v) {
+                        *a = false;
+                    }
+                }
+            }
+        }
+    }
+    alive.iter().filter(|&&a| a).count()
+}
+
+/// Exact selectivity `actsel(q) ∈ [0, 1]` of a conjunctive query.
+pub fn exact_selectivity(table: &Table, q: &Query) -> f64 {
+    if table.nrows() == 0 {
+        return 0.0;
+    }
+    exact_count(table, q) as f64 / table.nrows() as f64
+}
+
+/// Exact selectivity of a normalised range query.
+pub fn exact_selectivity_ranges(table: &Table, rq: &RangeQuery) -> f64 {
+    let n = table.nrows();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut alive: Vec<bool> = vec![true; n];
+    for (ci, iv) in rq.cols.iter().enumerate() {
+        let Some(iv) = iv else { continue };
+        let col = &table.columns[ci];
+        for (r, a) in alive.iter_mut().enumerate() {
+            if *a && !iv.contains(col.value_as_f64(r)) {
+                *a = false;
+            }
+        }
+    }
+    alive.iter().filter(|&&a| a).count() as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::{CatColumn, Column, ContColumn};
+    use crate::query::{Interval, Op, Predicate};
+
+    fn toy() -> Table {
+        Table::new(
+            "t",
+            vec![
+                Column::Categorical(CatColumn::from_values("c", &["a", "b", "a", "c"])),
+                Column::Continuous(ContColumn::new("x", vec![1.0, 2.0, 3.0, 4.0])),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_conjunction() {
+        let t = toy();
+        // c = "a" AND x >= 2   -> row 2 only
+        let q = Query::new(vec![
+            Predicate { col: 0, op: Op::Eq, value: 0.0 },
+            Predicate { col: 1, op: Op::Ge, value: 2.0 },
+        ]);
+        assert_eq!(exact_count(&t, &q), 1);
+        assert!((exact_selectivity(&t, &q) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_query_selects_all() {
+        let t = toy();
+        assert_eq!(exact_selectivity(&t, &Query::default()), 1.0);
+    }
+
+    #[test]
+    fn ne_predicate() {
+        let t = toy();
+        let q = Query::new(vec![Predicate { col: 0, op: Op::Ne, value: 0.0 }]);
+        assert_eq!(exact_count(&t, &q), 2);
+    }
+
+    #[test]
+    fn range_query_matches_predicate_query() {
+        let t = toy();
+        let q = Query::new(vec![
+            Predicate { col: 1, op: Op::Ge, value: 2.0 },
+            Predicate { col: 1, op: Op::Lt, value: 4.0 },
+        ]);
+        let (rq, _) = q.normalize(t.ncols()).unwrap();
+        assert_eq!(exact_selectivity(&t, &q), exact_selectivity_ranges(&t, &rq));
+        assert_eq!(exact_count(&t, &q), 2);
+    }
+
+    #[test]
+    fn unconstrained_range_query_is_one() {
+        let t = toy();
+        let rq = RangeQuery::unconstrained(2);
+        assert_eq!(exact_selectivity_ranges(&t, &rq), 1.0);
+        let _ = Interval::full(); // silence unused import in some cfgs
+    }
+}

@@ -1,0 +1,148 @@
+//! The Q-error metric and quantile summaries used throughout the evaluation.
+
+/// Q-error of one estimate (§6.1.3, "Evaluation Metrics"):
+/// `max(actsel/estsel, estsel/actsel)` with both selectivities floored at
+/// `1/|T|` to avoid division by zero — exactly the paper's convention.
+pub fn q_error(actsel: f64, estsel: f64, nrows: usize) -> f64 {
+    let floor = 1.0 / nrows.max(1) as f64;
+    let a = actsel.max(floor);
+    let e = estsel.max(floor);
+    (a / e).max(e / a)
+}
+
+/// Quantile summary of a batch of Q-errors, matching the columns of
+/// Tables 2–5 (Mean / Median / 95th / 99th / Max).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorSummary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// 50th percentile.
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Number of queries summarised.
+    pub count: usize,
+}
+
+impl ErrorSummary {
+    /// Summarise a batch of Q-errors. Returns `None` for an empty batch.
+    pub fn from_errors(errors: &[f64]) -> Option<Self> {
+        if errors.is_empty() {
+            return None;
+        }
+        let mut sorted = errors.to_vec();
+        sorted.sort_unstable_by(f64::total_cmp);
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        Some(ErrorSummary {
+            mean,
+            median: quantile(&sorted, 0.50),
+            p95: quantile(&sorted, 0.95),
+            p99: quantile(&sorted, 0.99),
+            max: *sorted.last().expect("nonempty"),
+            count: sorted.len(),
+        })
+    }
+
+    /// Render as a fixed-width table row: `name  mean median 95th 99th max`.
+    pub fn table_row(&self, name: &str) -> String {
+        format!(
+            "{name:<12} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            fmt3(self.mean),
+            fmt3(self.median),
+            fmt3(self.p95),
+            fmt3(self.p99),
+            fmt3(self.max)
+        )
+    }
+}
+
+/// Linear-interpolation quantile of an already-sorted slice.
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Compact 3-significant-digit formatting used in printed tables.
+pub fn fmt3(v: f64) -> String {
+    if !v.is_finite() {
+        return format!("{v}");
+    }
+    let a = v.abs();
+    if a >= 10_000.0 {
+        format!("{v:.3e}")
+    } else if a >= 100.0 {
+        format!("{v:.0}")
+    } else if a >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q_error_is_symmetric_and_floored() {
+        assert_eq!(q_error(0.1, 0.1, 100), 1.0);
+        assert!((q_error(0.2, 0.1, 100) - 2.0).abs() < 1e-12);
+        assert!((q_error(0.1, 0.2, 100) - 2.0).abs() < 1e-12);
+        // floor: actsel 0 is treated as 1/|T|
+        assert!((q_error(0.0, 0.01, 100) - 1.0).abs() < 1e-12 || q_error(0.0, 0.01, 100) > 1.0);
+        assert_eq!(q_error(0.0, 0.0, 100), 1.0);
+    }
+
+    #[test]
+    fn q_error_never_below_one() {
+        for (a, e) in [(0.5, 0.25), (0.25, 0.5), (1.0, 1.0), (0.0, 1.0)] {
+            assert!(q_error(a, e, 1000) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn summary_quantiles() {
+        let errs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = ErrorSummary::from_errors(&errs).unwrap();
+        assert_eq!(s.max, 100.0);
+        assert!((s.median - 50.5).abs() < 1e-9);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert!(s.p95 > 94.0 && s.p95 < 97.0);
+        assert!(s.p99 > 98.0 && s.p99 <= 100.0);
+        assert_eq!(s.count, 100);
+    }
+
+    #[test]
+    fn empty_summary_is_none() {
+        assert!(ErrorSummary::from_errors(&[]).is_none());
+    }
+
+    #[test]
+    fn quantile_endpoints() {
+        let v = vec![1.0, 2.0, 3.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 3.0);
+        assert_eq!(quantile(&v, 0.5), 2.0);
+    }
+
+    #[test]
+    fn fmt3_ranges() {
+        assert_eq!(fmt3(1.234), "1.23");
+        assert_eq!(fmt3(12.34), "12.3");
+        assert_eq!(fmt3(123.4), "123");
+        assert!(fmt3(1.93e5).contains('e'));
+    }
+}

@@ -1,0 +1,109 @@
+//! Synthetic TWI: geo-tagged tweets in the continental US.
+//!
+//! Paper profile: 19M rows, 2 continuous columns (`latitude`, `longitude`,
+//! ≈ 3 × 10^6 distinct values each), strong spatial correlation (tweets
+//! cluster around cities) and near-symmetric marginals (Fisher ≈ −1).
+
+use super::{cumsum, normal, sample_cdf, zipf_weights};
+use crate::column::{Column, ContColumn};
+use crate::table::Table;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Number of synthetic population centres.
+const CITIES: usize = 60;
+/// Continental-US-like bounding box.
+const LAT_RANGE: (f64, f64) = (24.5, 49.0);
+const LON_RANGE: (f64, f64) = (-124.8, -66.9);
+
+/// Generate a TWI-like table with `nrows` rows.
+pub fn twi(nrows: usize, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5457_4931); // "TWI1"
+
+    struct City {
+        lat: f64,
+        lon: f64,
+        sigma_lat: f64,
+        sigma_lon: f64,
+        rho: f64, // orientation of the metro area
+    }
+    // Larger cities are denser and tighter, suburbs sprawl.
+    let cities: Vec<City> = (0..CITIES)
+        .map(|rank| {
+            let tight = 1.0 / (1.0 + rank as f64 * 0.15);
+            City {
+                lat: LAT_RANGE.0 + (LAT_RANGE.1 - LAT_RANGE.0) * rng.random::<f64>(),
+                lon: LON_RANGE.0 + (LON_RANGE.1 - LON_RANGE.0) * rng.random::<f64>(),
+                sigma_lat: 0.05 + 0.6 * tight * rng.random::<f64>(),
+                sigma_lon: 0.05 + 0.8 * tight * rng.random::<f64>(),
+                rho: -0.9 + 1.8 * rng.random::<f64>(),
+            }
+        })
+        .collect();
+    let city_cdf = cumsum(&zipf_weights(CITIES, 1.05));
+
+    let mut lats = Vec::with_capacity(nrows);
+    let mut lons = Vec::with_capacity(nrows);
+    for _ in 0..nrows {
+        // a sliver of genuinely rural tweets spreads over the whole box
+        if rng.random::<f64>() < 0.03 {
+            lats.push(LAT_RANGE.0 + (LAT_RANGE.1 - LAT_RANGE.0) * rng.random::<f64>());
+            lons.push(LON_RANGE.0 + (LON_RANGE.1 - LON_RANGE.0) * rng.random::<f64>());
+            continue;
+        }
+        let c = &cities[sample_cdf(&mut rng, &city_cdf)];
+        let z0 = normal(&mut rng);
+        let z1 = normal(&mut rng);
+        let lat = c.lat + c.sigma_lat * z0;
+        let lon = c.lon + c.sigma_lon * (c.rho * z0 + (1.0 - c.rho * c.rho).sqrt() * z1);
+        lats.push(lat.clamp(LAT_RANGE.0, LAT_RANGE.1));
+        lons.push(lon.clamp(LON_RANGE.0, LON_RANGE.1));
+    }
+
+    Table::new(
+        "twi",
+        vec![
+            Column::Continuous(ContColumn::new("latitude", lats)),
+            Column::Continuous(ContColumn::new("longitude", lons)),
+        ],
+    )
+    .expect("columns constructed with equal length")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_and_bounds() {
+        let t = twi(3000, 1);
+        assert_eq!(t.ncols(), 2);
+        for c in &t.columns {
+            let Column::Continuous(cc) = c else { panic!("TWI is all-continuous") };
+            assert!(cc.min().unwrap() >= LAT_RANGE.0.min(LON_RANGE.0));
+            assert!(cc.max().unwrap() <= LAT_RANGE.1.max(LON_RANGE.1));
+        }
+    }
+
+    #[test]
+    fn spatially_clustered() {
+        // the densest 1-degree lat cell should hold far more than the
+        // uniform share — evidence of city clustering
+        let t = twi(20_000, 2);
+        let Column::Continuous(lat) = &t.columns[0] else { unreachable!() };
+        let mut hist = [0usize; 25];
+        for &v in &lat.values {
+            let b = ((v - LAT_RANGE.0) / (LAT_RANGE.1 - LAT_RANGE.0) * 25.0) as usize;
+            hist[b.min(24)] += 1;
+        }
+        let max = *hist.iter().max().unwrap();
+        assert!(max as f64 > 3.0 * (20_000.0 / 25.0), "max cell {max}");
+    }
+
+    #[test]
+    fn near_symmetric_marginals() {
+        let t = twi(20_000, 3);
+        let skew = crate::stats::table_skewness(&t).abs();
+        assert!(skew < 3.0, "TWI skew should be modest, got {skew}");
+    }
+}

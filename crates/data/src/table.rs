@@ -1,0 +1,133 @@
+//! The in-memory columnar [`Table`].
+
+use crate::column::Column;
+use crate::error::DataError;
+
+/// An immutable in-memory columnar relation.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Relation name.
+    pub name: String,
+    /// Columns, all the same length.
+    pub columns: Vec<Column>,
+    nrows: usize,
+}
+
+impl Table {
+    /// Construct a table, validating that all columns have equal length.
+    pub fn new(name: impl Into<String>, columns: Vec<Column>) -> Result<Self, DataError> {
+        let nrows = columns.first().map_or(0, |c| c.len());
+        for (i, c) in columns.iter().enumerate() {
+            if c.len() != nrows {
+                return Err(DataError::RaggedColumns { expected: nrows, got: c.len(), col: i });
+            }
+        }
+        Ok(Table { name: name.into(), columns, nrows })
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Look up a column index by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name() == name)
+    }
+
+    /// Borrow a column, checking bounds.
+    pub fn column(&self, col: usize) -> Result<&Column, DataError> {
+        self.columns
+            .get(col)
+            .ok_or(DataError::ColumnOutOfBounds { col, ncols: self.columns.len() })
+    }
+
+    /// A new table keeping only the rows whose index appears in `rows`.
+    pub fn take_rows(&self, rows: &[usize]) -> Table {
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| match c {
+                Column::Categorical(cc) => Column::Categorical(crate::column::CatColumn {
+                    name: cc.name.clone(),
+                    dict: cc.dict.clone(),
+                    codes: rows.iter().map(|&r| cc.codes[r]).collect(),
+                }),
+                Column::Continuous(cc) => Column::Continuous(crate::column::ContColumn {
+                    name: cc.name.clone(),
+                    values: rows.iter().map(|&r| cc.values[r]).collect(),
+                }),
+            })
+            .collect();
+        Table { name: self.name.clone(), columns, nrows: rows.len() }
+    }
+
+    /// Row `row` projected to the shared `f64` space, one entry per column.
+    pub fn row_as_f64(&self, row: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.columns.iter().map(|c| c.value_as_f64(row)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::{CatColumn, ContColumn};
+
+    fn toy() -> Table {
+        Table::new(
+            "toy",
+            vec![
+                Column::Categorical(CatColumn::from_values("pet", &["dog", "cat", "dog"])),
+                Column::Continuous(ContColumn::new("x", vec![1.0, 2.0, 3.0])),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let t = toy();
+        assert_eq!(t.nrows(), 3);
+        assert_eq!(t.ncols(), 2);
+        assert_eq!(t.column_index("x"), Some(1));
+        assert_eq!(t.column_index("nope"), None);
+        assert!(t.column(5).is_err());
+    }
+
+    #[test]
+    fn ragged_columns_rejected() {
+        let err = Table::new(
+            "bad",
+            vec![
+                Column::Continuous(ContColumn::new("a", vec![1.0])),
+                Column::Continuous(ContColumn::new("b", vec![1.0, 2.0])),
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(err, DataError::RaggedColumns { expected: 1, got: 2, col: 1 });
+    }
+
+    #[test]
+    fn take_rows_projects_all_columns() {
+        let t = toy().take_rows(&[2, 0]);
+        assert_eq!(t.nrows(), 2);
+        match &t.columns[1] {
+            Column::Continuous(c) => assert_eq!(c.values, vec![3.0, 1.0]),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn row_projection() {
+        let t = toy();
+        let mut buf = Vec::new();
+        t.row_as_f64(1, &mut buf);
+        assert_eq!(buf, vec![0.0, 2.0]); // "cat" encodes to 0
+    }
+}

@@ -1,0 +1,136 @@
+//! Classic expectation–maximisation fitting for [`Gmm1d`].
+//!
+//! The paper (§4.2, "Model Training") explains why plain EM does not fit
+//! IAM's joint mini-batch loop — the M step needs all tuples at once. We
+//! still provide EM as an initialiser and as an independently-tested
+//! reference implementation against which the SGD trainer is validated.
+
+use crate::model::Gmm1d;
+
+/// Result of an EM fit.
+#[derive(Debug, Clone)]
+pub struct EmFit {
+    /// The fitted mixture.
+    pub gmm: Gmm1d,
+    /// Average log-likelihood at the final iteration.
+    pub avg_log_likelihood: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+/// Fit a `k`-component mixture to `values` by EM.
+///
+/// Initialisation spreads the means over the empirical quantiles, which is
+/// deterministic and robust for the skewed columns in this workload. Stops
+/// when the average log-likelihood improves by less than `tol` or after
+/// `max_iter` iterations.
+pub fn fit_em(values: &[f64], k: usize, max_iter: usize, tol: f64) -> EmFit {
+    assert!(k >= 1, "need at least one component");
+    assert!(!values.is_empty(), "cannot fit an empty column");
+    let n = values.len();
+
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable_by(f64::total_cmp);
+    let spread = (sorted[n - 1] - sorted[0]).max(1e-6);
+    let mut means: Vec<f64> =
+        (0..k).map(|i| sorted[((i * 2 + 1) * (n - 1)) / (2 * k)]).collect();
+    let mut stds = vec![spread / (2.0 * k as f64); k];
+    let mut weights = vec![1.0 / k as f64; k];
+
+    let mut prev_ll = f64::NEG_INFINITY;
+    let mut iterations = 0;
+    let mut resp = vec![0.0f64; k];
+    for it in 0..max_iter {
+        iterations = it + 1;
+        // accumulators: weight mass, weighted sum, weighted square sum
+        let mut mass = vec![0.0f64; k];
+        let mut sum = vec![0.0f64; k];
+        let mut sq = vec![0.0f64; k];
+        let mut ll = 0.0;
+        let gmm = Gmm1d::new(weights.clone(), means.clone(), stds.clone());
+        for &x in values {
+            gmm.posteriors_into(x, &mut resp);
+            ll += gmm.log_pdf(x);
+            for c in 0..k {
+                mass[c] += resp[c];
+                sum[c] += resp[c] * x;
+                sq[c] += resp[c] * x * x;
+            }
+        }
+        ll /= n as f64;
+        for c in 0..k {
+            let m = mass[c].max(1e-10);
+            weights[c] = m / n as f64;
+            means[c] = sum[c] / m;
+            let var = (sq[c] / m - means[c] * means[c]).max(1e-12);
+            stds[c] = var.sqrt().max(spread * 1e-6);
+        }
+        if (ll - prev_ll).abs() < tol {
+            prev_ll = ll;
+            break;
+        }
+        prev_ll = ll;
+    }
+
+    EmFit {
+        gmm: Gmm1d::new(weights, means, stds),
+        avg_log_likelihood: prev_ll,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bimodal(n: usize, seed: u64) -> Vec<f64> {
+        let truth = Gmm1d::new(vec![0.3, 0.7], vec![-5.0, 4.0], vec![0.8, 1.2]);
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| truth.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn recovers_bimodal_parameters() {
+        let data = bimodal(20_000, 1);
+        let fit = fit_em(&data, 2, 200, 1e-8);
+        let mut order: Vec<usize> = vec![0, 1];
+        order.sort_by(|&a, &b| fit.gmm.means[a].total_cmp(&fit.gmm.means[b]));
+        let (lo, hi) = (order[0], order[1]);
+        assert!((fit.gmm.means[lo] + 5.0).abs() < 0.15, "mean lo {}", fit.gmm.means[lo]);
+        assert!((fit.gmm.means[hi] - 4.0).abs() < 0.15, "mean hi {}", fit.gmm.means[hi]);
+        assert!((fit.gmm.weights[lo] - 0.3).abs() < 0.03);
+        assert!((fit.gmm.stds[hi] - 1.2).abs() < 0.1);
+    }
+
+    #[test]
+    fn likelihood_never_decreases_much() {
+        // run two fits with increasing iteration budgets: more iterations
+        // can only improve (up to numerical wiggle)
+        let data = bimodal(4000, 2);
+        let short = fit_em(&data, 3, 2, 0.0);
+        let long = fit_em(&data, 3, 60, 0.0);
+        assert!(long.avg_log_likelihood >= short.avg_log_likelihood - 1e-9);
+    }
+
+    #[test]
+    fn single_component_matches_moments() {
+        let data: Vec<f64> = (0..1000).map(|i| (i % 10) as f64).collect();
+        let fit = fit_em(&data, 1, 50, 1e-10);
+        let mean = 4.5;
+        let var = 8.25;
+        assert!((fit.gmm.means[0] - mean).abs() < 1e-6);
+        assert!((fit.gmm.stds[0] * fit.gmm.stds[0] - var).abs() < 1e-4);
+        assert!((fit.gmm.weights[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_column_does_not_collapse() {
+        let data = vec![7.0; 500];
+        let fit = fit_em(&data, 3, 30, 1e-10);
+        // stds floored, pdf finite
+        assert!(fit.gmm.pdf(7.0).is_finite());
+        assert_eq!(fit.gmm.assign(7.0), fit.gmm.assign(7.0));
+    }
+}

@@ -1,0 +1,330 @@
+//! The 1-D Gaussian mixture model and its query-time operations.
+
+use crate::math::{log_sum_exp, normal_log_pdf, normal_mass, normal_pdf};
+use rand::{Rng, RngExt};
+
+/// A one-dimensional Gaussian mixture with `K` components.
+///
+/// Invariants: weights are positive and sum to 1; stds are positive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gmm1d {
+    /// Mixture weights `φ_k`, summing to 1.
+    pub weights: Vec<f64>,
+    /// Component means `μ_k`.
+    pub means: Vec<f64>,
+    /// Component standard deviations `σ_k`.
+    pub stds: Vec<f64>,
+}
+
+impl Gmm1d {
+    /// Construct a mixture, normalising weights and flooring stds.
+    ///
+    /// # Panics
+    /// Panics if the parameter vectors have differing lengths or are empty.
+    pub fn new(weights: Vec<f64>, means: Vec<f64>, stds: Vec<f64>) -> Self {
+        assert!(!weights.is_empty(), "a GMM needs at least one component");
+        assert_eq!(weights.len(), means.len());
+        assert_eq!(weights.len(), stds.len());
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must have positive mass");
+        let weights = weights.iter().map(|w| (w / total).max(1e-300)).collect();
+        let stds = stds.iter().map(|s| s.max(1e-9)).collect();
+        Gmm1d { weights, means, stds }
+    }
+
+    /// Number of components `K`.
+    pub fn k(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Mixture density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        (0..self.k())
+            .map(|k| self.weights[k] * normal_pdf(x, self.means[k], self.stds[k]))
+            .sum()
+    }
+
+    /// Log mixture density at `x` (log-sum-exp stable).
+    pub fn log_pdf(&self, x: f64) -> f64 {
+        let logs: Vec<f64> = (0..self.k())
+            .map(|k| self.weights[k].ln() + normal_log_pdf(x, self.means[k], self.stds[k]))
+            .collect();
+        log_sum_exp(&logs)
+    }
+
+    /// Posterior responsibilities `P(component = k | x)` into `out`.
+    pub fn posteriors_into(&self, x: f64, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(
+            (0..self.k())
+                .map(|k| self.weights[k].ln() + normal_log_pdf(x, self.means[k], self.stds[k])),
+        );
+        let lse = log_sum_exp(out);
+        for v in out.iter_mut() {
+            *v = (*v - lse).exp();
+        }
+    }
+
+    /// Posterior responsibilities as a fresh vector.
+    pub fn posteriors(&self, x: f64) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.k());
+        self.posteriors_into(x, &mut out);
+        out
+    }
+
+    /// The paper's Eq. 5: index of the component with maximal
+    /// `φ_k N(x | μ_k, σ_k²)` — the *reduced* attribute value `a'`.
+    pub fn assign(&self, x: f64) -> usize {
+        let mut best = 0;
+        let mut best_score = f64::NEG_INFINITY;
+        for k in 0..self.k() {
+            let score = self.weights[k].ln() + normal_log_pdf(x, self.means[k], self.stds[k]);
+            if score > best_score {
+                best_score = score;
+                best = k;
+            }
+        }
+        best
+    }
+
+    /// Exact per-component range mass: `P̂_GMM^k(R) = P(R | component k)`
+    /// computed from the normal CDF. This is the `K`-vector the unbiased
+    /// sampler multiplies into the AR conditional (§5.2).
+    pub fn range_mass_exact(&self, lo: f64, hi: f64) -> Vec<f64> {
+        (0..self.k()).map(|k| normal_mass(lo, hi, self.means[k], self.stds[k])).collect()
+    }
+
+    /// The paper's Monte-Carlo variant of [`Self::range_mass_exact`]: draw
+    /// `s_per_component` samples from each component and report the fraction
+    /// landing in `[lo, hi]`. The paper performs this once per query with
+    /// pre-drawn samples; callers wanting that amortisation should use
+    /// [`ComponentSamples`].
+    pub fn range_mass_mc<R: Rng + ?Sized>(
+        &self,
+        lo: f64,
+        hi: f64,
+        s_per_component: usize,
+        rng: &mut R,
+    ) -> Vec<f64> {
+        (0..self.k())
+            .map(|k| {
+                let mut hits = 0usize;
+                for _ in 0..s_per_component {
+                    let v = self.means[k] + self.stds[k] * super::sgd::standard_normal(rng);
+                    if v >= lo && v <= hi {
+                        hits += 1;
+                    }
+                }
+                hits as f64 / s_per_component.max(1) as f64
+            })
+            .collect()
+    }
+
+    /// Draw one value from the mixture.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random::<f64>();
+        let mut acc = 0.0;
+        let mut k = self.k() - 1;
+        for (i, w) in self.weights.iter().enumerate() {
+            acc += w;
+            if u <= acc {
+                k = i;
+                break;
+            }
+        }
+        self.means[k] + self.stds[k] * super::sgd::standard_normal(rng)
+    }
+
+    /// Average negative log-likelihood over `values` (Eq. 4's loss).
+    pub fn nll(&self, values: &[f64]) -> f64 {
+        if values.is_empty() {
+            return 0.0;
+        }
+        -values.iter().map(|&v| self.log_pdf(v)).sum::<f64>() / values.len() as f64
+    }
+
+    /// Serialized parameter footprint in bytes: `3K` f64 parameters.
+    pub fn size_bytes(&self) -> usize {
+        3 * self.k() * std::mem::size_of::<f64>()
+    }
+
+    /// Merge components whose means are closer than
+    /// `threshold × (σ_i + σ_j)`, moment-matching the merged Gaussian.
+    ///
+    /// Variational fits routinely leave several near-duplicate components
+    /// feeding on one mode; merging them recovers the effective component
+    /// count without changing the mixture density materially.
+    pub fn merged_close(&self, threshold: f64) -> Gmm1d {
+        let mut w = self.weights.clone();
+        let mut mu = self.means.clone();
+        let mut var: Vec<f64> = self.stds.iter().map(|s| s * s).collect();
+        loop {
+            let k = w.len();
+            let mut merged_any = false;
+            'outer: for i in 0..k {
+                for j in (i + 1)..k {
+                    let si = var[i].sqrt();
+                    let sj = var[j].sqrt();
+                    if (mu[i] - mu[j]).abs() <= threshold * (si + sj) {
+                        let wt = w[i] + w[j];
+                        let m = (w[i] * mu[i] + w[j] * mu[j]) / wt;
+                        let second =
+                            (w[i] * (var[i] + mu[i] * mu[i]) + w[j] * (var[j] + mu[j] * mu[j])) / wt;
+                        w[i] = wt;
+                        mu[i] = m;
+                        var[i] = (second - m * m).max(1e-18);
+                        w.remove(j);
+                        mu.remove(j);
+                        var.remove(j);
+                        merged_any = true;
+                        break 'outer;
+                    }
+                }
+            }
+            if !merged_any {
+                break;
+            }
+        }
+        Gmm1d::new(w, mu, var.iter().map(|v| v.sqrt()).collect())
+    }
+}
+
+/// Pre-drawn per-component samples for the paper's Monte-Carlo range-mass
+/// estimator: "the first step is a one-time preprocessing that can be done
+/// before any query is processed" (§5.2).
+#[derive(Debug, Clone)]
+pub struct ComponentSamples {
+    /// `samples[k]` holds `S` sorted draws from component `k`.
+    samples: Vec<Vec<f64>>,
+}
+
+impl ComponentSamples {
+    /// Draw and sort `s_per_component` samples from each component.
+    pub fn new<R: Rng + ?Sized>(gmm: &Gmm1d, s_per_component: usize, rng: &mut R) -> Self {
+        let samples = (0..gmm.k())
+            .map(|k| {
+                let mut v: Vec<f64> = (0..s_per_component)
+                    .map(|_| gmm.means[k] + gmm.stds[k] * super::sgd::standard_normal(rng))
+                    .collect();
+                v.sort_unstable_by(f64::total_cmp);
+                v
+            })
+            .collect();
+        ComponentSamples { samples }
+    }
+
+    /// Per-component fraction of pre-drawn samples inside `[lo, hi]`
+    /// (`S_k / S` in Algorithm 1, line 11). Binary search makes each query
+    /// `O(K log S)`.
+    pub fn range_mass(&self, lo: f64, hi: f64) -> Vec<f64> {
+        self.samples
+            .iter()
+            .map(|s| {
+                let a = s.partition_point(|&v| v < lo);
+                let b = s.partition_point(|&v| v <= hi);
+                (b - a) as f64 / s.len().max(1) as f64
+            })
+            .collect()
+    }
+
+    /// Number of samples per component.
+    pub fn s_per_component(&self) -> usize {
+        self.samples.first().map_or(0, Vec::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_comp() -> Gmm1d {
+        Gmm1d::new(vec![0.25, 0.75], vec![-2.0, 3.0], vec![0.5, 1.0])
+    }
+
+    #[test]
+    fn weights_normalised_on_construction() {
+        let g = Gmm1d::new(vec![1.0, 3.0], vec![0.0, 1.0], vec![1.0, 1.0]);
+        assert!((g.weights[0] - 0.25).abs() < 1e-12);
+        assert!((g.weights.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pdf_matches_log_pdf() {
+        let g = two_comp();
+        for x in [-3.0, 0.0, 3.0, 10.0] {
+            assert!((g.pdf(x).ln() - g.log_pdf(x)).abs() < 1e-9, "at {x}");
+        }
+    }
+
+    #[test]
+    fn posteriors_sum_to_one_and_peak_correctly() {
+        let g = two_comp();
+        let p = g.posteriors(-2.0);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[0] > 0.9, "x = -2 clearly belongs to component 0: {p:?}");
+        assert_eq!(g.assign(-2.0), 0);
+        assert_eq!(g.assign(3.0), 1);
+    }
+
+    #[test]
+    fn assignment_boundary_is_deterministic() {
+        let g = two_comp();
+        // repeated calls agree (argmax, not sampling — the paper's choice)
+        let a1 = g.assign(0.4);
+        for _ in 0..10 {
+            assert_eq!(g.assign(0.4), a1);
+        }
+    }
+
+    #[test]
+    fn exact_range_mass_bounds() {
+        let g = two_comp();
+        let full = g.range_mass_exact(f64::NEG_INFINITY, f64::INFINITY);
+        assert!(full.iter().all(|&m| (m - 1.0).abs() < 1e-9));
+        let empty = g.range_mass_exact(5.0, 4.0);
+        assert!(empty.iter().all(|&m| m == 0.0));
+        let half = g.range_mass_exact(-2.0, f64::INFINITY);
+        assert!((half[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mc_range_mass_approximates_exact() {
+        let g = two_comp();
+        let mut rng = StdRng::seed_from_u64(1);
+        let exact = g.range_mass_exact(-1.0, 4.0);
+        let mc = g.range_mass_mc(-1.0, 4.0, 20_000, &mut rng);
+        for (e, m) in exact.iter().zip(&mc) {
+            assert!((e - m).abs() < 0.02, "exact {e} mc {m}");
+        }
+    }
+
+    #[test]
+    fn component_samples_match_exact_mass() {
+        let g = two_comp();
+        let mut rng = StdRng::seed_from_u64(2);
+        let cs = ComponentSamples::new(&g, 20_000, &mut rng);
+        assert_eq!(cs.s_per_component(), 20_000);
+        let exact = g.range_mass_exact(0.0, 3.5);
+        let approx = cs.range_mass(0.0, 3.5);
+        for (e, a) in exact.iter().zip(&approx) {
+            assert!((e - a).abs() < 0.02, "exact {e} approx {a}");
+        }
+    }
+
+    #[test]
+    fn sampling_reproduces_mixture_mean() {
+        let g = two_comp();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 40_000;
+        let mean: f64 = (0..n).map(|_| g.sample(&mut rng)).sum::<f64>() / n as f64;
+        let want = 0.25 * -2.0 + 0.75 * 3.0;
+        assert!((mean - want).abs() < 0.05, "sample mean {mean} want {want}");
+    }
+
+    #[test]
+    fn size_accounting() {
+        assert_eq!(two_comp().size_bytes(), 2 * 3 * 8);
+    }
+}

@@ -1,0 +1,584 @@
+//! MADE / ResMADE — the masked autoregressive network (paper §3).
+//!
+//! The network consumes one embedded token per column and produces, for
+//! every column `i`, the logits of `P̂(A_i | A_1..A_{i-1})`. Autoregressive
+//! structure is enforced with degree-based binary masks (Germain et al.,
+//! MADE): input group `i` carries degree `i+1`, hidden unit `k` carries
+//! degree `d_k ∈ [1, n−1]` assigned cyclically, and
+//!
+//! * first layer:    hidden `k` sees input group `j` iff `j+1 ≤ d_k`;
+//! * hidden layers:  unit `k₂` sees unit `k₁` iff `d_{k₂} ≥ d_{k₁}`;
+//! * output layer:   column `i`'s logits see hidden `k` iff `d_k ≤ i`.
+//!
+//! Residual (ResMADE) skips are added between consecutive hidden layers of
+//! equal width; the cyclic degree assignment gives positionally identical
+//! degrees, so identity skips preserve the autoregressive property.
+//!
+//! Every column's embedding table carries one extra MASK row (id =
+//! `domain_size`) used for *wildcard skipping* (§5.3): during training a
+//! random subset of input columns is replaced by MASK so the conditionals
+//! marginalise over unqueried columns at inference time.
+
+use crate::embedding::Embedding;
+use crate::init::Initializer;
+use crate::linear::{Linear, Relu};
+use crate::Parameters;
+
+/// Configuration of a [`MadeNet`].
+#[derive(Debug, Clone)]
+pub struct MadeConfig {
+    /// Reduced domain size of each column, in autoregressive order.
+    pub domain_sizes: Vec<usize>,
+    /// Hidden layer widths, e.g. the paper's `[256, 128, 128, 256]`.
+    pub hidden: Vec<usize>,
+    /// Per-column embedding dimension.
+    pub embed_dim: usize,
+    /// Add residual skips between equal-width hidden layers (ResMADE).
+    pub residual: bool,
+    /// Seed for weight init.
+    pub seed: u64,
+}
+
+impl Default for MadeConfig {
+    fn default() -> Self {
+        MadeConfig {
+            domain_sizes: Vec::new(),
+            hidden: vec![256, 128, 128, 256],
+            embed_dim: 16,
+            residual: true,
+            seed: 42,
+        }
+    }
+}
+
+/// The masked autoregressive network with manual backprop.
+#[derive(Clone)]
+pub struct MadeNet {
+    cfg: MadeConfig,
+    embeddings: Vec<Embedding>,
+    layers: Vec<Linear>,
+    relus: Vec<Relu>,
+    /// `skip_from[l] == true` → add layer `l`'s input to its activated output.
+    skip_from: Vec<bool>,
+    /// Start offset of column `i`'s logits within the output vector.
+    logit_offsets: Vec<usize>,
+    total_logits: usize,
+    // training scratch buffers
+    bufs: Vec<Vec<f32>>,
+    grads: Vec<Vec<f32>>,
+}
+
+impl MadeNet {
+    /// Build the network with degree-based masks.
+    pub fn new(cfg: MadeConfig) -> Self {
+        let n = cfg.domain_sizes.len();
+        assert!(n >= 1, "need at least one column");
+        assert!(!cfg.hidden.is_empty(), "need at least one hidden layer");
+        let mut init = Initializer::new(cfg.seed);
+        let e = cfg.embed_dim;
+
+        let embeddings: Vec<Embedding> = cfg
+            .domain_sizes
+            .iter()
+            .map(|&d| Embedding::new(d + 1, e, &mut init)) // +1: MASK row
+            .collect();
+
+        // degree of hidden unit k in any hidden layer of width `width`
+        let max_deg = n.saturating_sub(1).max(1);
+        let degree = |k: usize| (k % max_deg) + 1;
+
+        let mut layers = Vec::new();
+        let mut skip_from = Vec::new();
+
+        // input layer: (n*e) -> hidden[0]
+        let in_dim = n * e;
+        let h0 = cfg.hidden[0];
+        let mut mask = vec![0.0f32; h0 * in_dim];
+        for k in 0..h0 {
+            let dk = if n == 1 { 0 } else { degree(k) };
+            for j in 0..n {
+                if j + 1 <= dk {
+                    for t in 0..e {
+                        mask[k * in_dim + j * e + t] = 1.0;
+                    }
+                }
+            }
+        }
+        layers.push(Linear::new_masked(in_dim, h0, mask, &mut init));
+        skip_from.push(false);
+
+        // hidden-to-hidden layers
+        for l in 1..cfg.hidden.len() {
+            let (hin, hout) = (cfg.hidden[l - 1], cfg.hidden[l]);
+            let mut mask = vec![0.0f32; hout * hin];
+            for k2 in 0..hout {
+                for k1 in 0..hin {
+                    if degree(k2) >= degree(k1) {
+                        mask[k2 * hin + k1] = 1.0;
+                    }
+                }
+            }
+            layers.push(Linear::new_masked(hin, hout, mask, &mut init));
+            skip_from.push(cfg.residual && hin == hout);
+        }
+
+        // output layer: hidden[last] -> Σ dom_i
+        let hlast = cfg.hidden[cfg.hidden.len() - 1];
+        let mut logit_offsets = Vec::with_capacity(n);
+        let mut total_logits = 0usize;
+        for &d in &cfg.domain_sizes {
+            logit_offsets.push(total_logits);
+            total_logits += d;
+        }
+        let mut mask = vec![0.0f32; total_logits * hlast];
+        for (i, &d) in cfg.domain_sizes.iter().enumerate() {
+            for o in logit_offsets[i]..logit_offsets[i] + d {
+                for k in 0..hlast {
+                    if n > 1 && degree(k) <= i {
+                        mask[o * hlast + k] = 1.0;
+                    }
+                    // column 0 (and the n == 1 case) sees nothing: marginal
+                    // learned purely through the output bias.
+                }
+            }
+        }
+        layers.push(Linear::new_masked(hlast, total_logits, mask, &mut init));
+        skip_from.push(false);
+
+        let nlayers = layers.len();
+        MadeNet {
+            cfg,
+            embeddings,
+            relus: vec![Relu::default(); nlayers.saturating_sub(1)],
+            layers,
+            skip_from,
+            logit_offsets,
+            total_logits,
+            bufs: vec![Vec::new(); nlayers + 1],
+            grads: vec![Vec::new(); nlayers + 1],
+        }
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cfg.domain_sizes.len()
+    }
+
+    /// Domain size of column `i`.
+    pub fn domain_size(&self, col: usize) -> usize {
+        self.cfg.domain_sizes[col]
+    }
+
+    /// The MASK token id of column `i` (one past its domain).
+    pub fn mask_token(&self, col: usize) -> usize {
+        self.cfg.domain_sizes[col]
+    }
+
+    /// Total output width `Σ |A_i|`.
+    pub fn total_logits(&self) -> usize {
+        self.total_logits
+    }
+
+    /// Byte-range of column `i`'s logits within an output row.
+    pub fn logit_range(&self, col: usize) -> std::ops::Range<usize> {
+        let start = self.logit_offsets[col];
+        start..start + self.cfg.domain_sizes[col]
+    }
+
+    fn embed(&mut self, inputs: &[usize], batch: usize, cache: bool) {
+        let n = self.ncols();
+        let e = self.cfg.embed_dim;
+        let stride = n * e;
+        let buf = &mut self.bufs[0];
+        buf.resize(batch * stride, 0.0);
+        // per-column id slices
+        for (col, emb) in self.embeddings.iter_mut().enumerate() {
+            // gather ids of this column
+            let ids: Vec<usize> = (0..batch).map(|b| inputs[b * n + col]).collect();
+            if cache {
+                emb.forward_into(&ids, buf, col * e, stride);
+            } else {
+                emb.gather(&ids, buf, col * e, stride);
+            }
+        }
+    }
+
+    /// Forward pass producing `batch × total_logits` logits in `out`.
+    ///
+    /// `inputs` is row-major `batch × ncols` of encoded values; a value equal
+    /// to `mask_token(col)` feeds the MASK embedding. When `cache` is true,
+    /// activations are retained for a subsequent [`Self::backward`].
+    pub fn forward(&mut self, inputs: &[usize], batch: usize, cache: bool, out: &mut Vec<f32>) {
+        assert_eq!(inputs.len(), batch * self.ncols());
+        self.embed(inputs, batch, cache);
+        let nlayers = self.layers.len();
+        for l in 0..nlayers {
+            let (head, tail) = self.bufs.split_at_mut(l + 1);
+            let x = &head[l];
+            let y = &mut tail[0];
+            if cache {
+                self.layers[l].forward(x, batch, y);
+            } else {
+                self.layers[l].forward_no_cache(x, batch, y);
+            }
+            if l + 1 < nlayers {
+                if cache {
+                    self.relus[l].forward(y);
+                } else {
+                    Relu::forward_no_cache(y);
+                }
+                if self.skip_from[l] {
+                    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+                        *yi += xi;
+                    }
+                }
+            }
+        }
+        out.clear();
+        out.extend_from_slice(&self.bufs[nlayers]);
+    }
+
+    /// Inference forward computing only column `col`'s logits
+    /// (`batch × domain_size(col)` into `out`). Progressive sampling calls
+    /// this once per column per step; skipping the other columns' output
+    /// rows is the difference between `O(H · |A_col|)` and
+    /// `O(H · Σ|A_i|)` per step.
+    pub fn forward_column(
+        &mut self,
+        inputs: &[usize],
+        batch: usize,
+        col: usize,
+        out: &mut Vec<f32>,
+    ) {
+        assert_eq!(inputs.len(), batch * self.ncols());
+        self.embed(inputs, batch, false);
+        let nlayers = self.layers.len();
+        for l in 0..nlayers - 1 {
+            let (head, tail) = self.bufs.split_at_mut(l + 1);
+            let x = &head[l];
+            let y = &mut tail[0];
+            self.layers[l].forward_no_cache(x, batch, y);
+            Relu::forward_no_cache(y);
+            if self.skip_from[l] {
+                for (yi, xi) in y.iter_mut().zip(x.iter()) {
+                    *yi += xi;
+                }
+            }
+        }
+        let hlast = &self.bufs[nlayers - 1];
+        self.layers[nlayers - 1].forward_rows_no_cache(hlast, batch, self.logit_range(col), out);
+    }
+
+    /// Softmax over a `batch × width` logits buffer (as produced by
+    /// [`Self::forward_column`]) for batch row `b`, written into `probs`.
+    pub fn row_softmax(&self, logits: &[f32], b: usize, width: usize, probs: &mut Vec<f32>) {
+        let seg = &logits[b * width..(b + 1) * width];
+        probs.clear();
+        probs.reserve(width);
+        let max = seg.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut total = 0.0f32;
+        for &l in seg {
+            let p = (l - max).exp();
+            total += p;
+            probs.push(p);
+        }
+        let inv = 1.0 / total;
+        for p in probs.iter_mut() {
+            *p *= inv;
+        }
+    }
+
+    /// Softmax of column `col`'s logits for batch row `b` of `logits`,
+    /// written into `probs`.
+    pub fn column_softmax(&self, logits: &[f32], b: usize, col: usize, probs: &mut Vec<f32>) {
+        let row = &logits[b * self.total_logits..(b + 1) * self.total_logits];
+        let seg = &row[self.logit_range(col)];
+        probs.clear();
+        probs.reserve(seg.len());
+        let max = seg.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut total = 0.0f32;
+        for &l in seg {
+            let p = (l - max).exp();
+            total += p;
+            probs.push(p);
+        }
+        let inv = 1.0 / total;
+        for p in probs.iter_mut() {
+            *p *= inv;
+        }
+    }
+
+    /// One training step: forward with cache, per-column softmax
+    /// cross-entropy against `targets`, backward, gradients accumulated
+    /// (caller runs the optimiser). Returns the mean per-tuple negative
+    /// log-likelihood (Eq. 3, in nats).
+    pub fn train_batch(&mut self, inputs: &[usize], targets: &[usize], batch: usize) -> f32 {
+        let n = self.ncols();
+        assert_eq!(targets.len(), batch * n);
+        let mut logits = Vec::new();
+        self.forward(inputs, batch, true, &mut logits);
+
+        // dL/dlogits and loss
+        let mut dlogits = vec![0.0f32; logits.len()];
+        let mut loss = 0.0f64;
+        let scale = 1.0 / batch as f32;
+        let mut probs = Vec::new();
+        for b in 0..batch {
+            for col in 0..n {
+                self.column_softmax(&logits, b, col, &mut probs);
+                let target = targets[b * n + col];
+                debug_assert!(target < self.cfg.domain_sizes[col]);
+                loss -= (probs[target].max(1e-30) as f64).ln();
+                let base = b * self.total_logits + self.logit_offsets[col];
+                for (j, &p) in probs.iter().enumerate() {
+                    dlogits[base + j] = (p - if j == target { 1.0 } else { 0.0 }) * scale;
+                }
+            }
+        }
+
+        self.backward(&dlogits, batch);
+        (loss / batch as f64) as f32
+    }
+
+    fn backward(&mut self, dlogits: &[f32], batch: usize) {
+        let nlayers = self.layers.len();
+        self.grads[nlayers].clear();
+        self.grads[nlayers].extend_from_slice(dlogits);
+        for l in (0..nlayers).rev() {
+            let (gin, gout) = {
+                let (head, tail) = self.grads.split_at_mut(l + 1);
+                (&mut head[l], &tail[0])
+            };
+            // undo post-activation residual: skip contributes identity grad
+            let mut dy = gout.clone();
+            if l + 1 < nlayers {
+                self.relus[l].backward(&mut dy);
+            }
+            self.layers[l].backward(&dy, gin);
+            if l + 1 < nlayers && self.skip_from[l] {
+                // the skip path: d(input) += d(output)
+                for (gi, go) in gin.iter_mut().zip(gout.iter()) {
+                    *gi += go;
+                }
+            }
+        }
+        // scatter into embedding tables
+        let n = self.ncols();
+        let e = self.cfg.embed_dim;
+        let stride = n * e;
+        let dx0 = &self.grads[0];
+        debug_assert_eq!(dx0.len(), batch * stride);
+        for (col, emb) in self.embeddings.iter_mut().enumerate() {
+            emb.backward_from(dx0, col * e, stride);
+        }
+    }
+
+    /// Stored size in bytes (all dense parameters at f32).
+    pub fn size_bytes(&mut self) -> usize {
+        self.num_params() * std::mem::size_of::<f32>()
+    }
+}
+
+impl Parameters for MadeNet {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        for e in &mut self.embeddings {
+            e.visit_params(f);
+        }
+        for l in &mut self.layers {
+            l.visit_params(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adam::{Adam, AdamConfig};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn tiny_net(domains: Vec<usize>, seed: u64) -> MadeNet {
+        MadeNet::new(MadeConfig {
+            domain_sizes: domains,
+            hidden: vec![32, 32],
+            embed_dim: 8,
+            residual: true,
+            seed,
+        })
+    }
+
+    #[test]
+    fn autoregressive_property_holds() {
+        // logits of column i must not change when inputs at columns >= i change
+        let mut net = tiny_net(vec![4, 3, 5], 1);
+        let mut out_a = Vec::new();
+        let mut out_b = Vec::new();
+        net.forward(&[2, 1, 4], 1, false, &mut out_a);
+        net.forward(&[2, 1, 0], 1, false, &mut out_b); // change col 2
+        assert_eq!(&out_a[net.logit_range(0)], &out_b[net.logit_range(0)]);
+        assert_eq!(&out_a[net.logit_range(1)], &out_b[net.logit_range(1)]);
+
+        net.forward(&[2, 2, 4], 1, false, &mut out_b); // change col 1
+        assert_eq!(&out_a[net.logit_range(0)], &out_b[net.logit_range(0)]);
+        // col 2 SHOULD see col 1
+        let r2 = net.logit_range(2);
+        assert_ne!(&out_a[r2.clone()], &out_b[r2]);
+    }
+
+    #[test]
+    fn first_column_is_a_pure_marginal() {
+        let mut net = tiny_net(vec![4, 3], 2);
+        let mut out_a = Vec::new();
+        let mut out_b = Vec::new();
+        net.forward(&[0, 0], 1, false, &mut out_a);
+        net.forward(&[3, 2], 1, false, &mut out_b);
+        assert_eq!(&out_a[net.logit_range(0)], &out_b[net.logit_range(0)]);
+    }
+
+    #[test]
+    fn column_softmax_normalises() {
+        let mut net = tiny_net(vec![4, 3], 3);
+        let mut out = Vec::new();
+        net.forward(&[1, 1, 2, 0], 2, false, &mut out);
+        let mut p = Vec::new();
+        for b in 0..2 {
+            for col in 0..2 {
+                net.column_softmax(&out, b, col, &mut p);
+                assert_eq!(p.len(), net.domain_size(col));
+                assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+                assert!(p.iter().all(|&x| x >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn learns_a_dependent_joint_distribution() {
+        // P(a) uniform over {0,1}; b = a with prob 0.9 else 1-a
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 4000;
+        let mut data = Vec::with_capacity(n * 2);
+        for _ in 0..n {
+            let a = rng.random_range(0..2usize);
+            let b = if rng.random::<f64>() < 0.9 { a } else { 1 - a };
+            data.push(a);
+            data.push(b);
+        }
+        let mut net = tiny_net(vec![2, 2], 4);
+        let mut opt = Adam::new(AdamConfig { lr: 5e-3, ..Default::default() });
+        let bs = 128;
+        for epoch in 0..30 {
+            let _ = epoch;
+            for chunk in data.chunks_exact(bs * 2) {
+                net.train_batch(chunk, chunk, bs);
+                opt.step(&mut net);
+            }
+        }
+        // check P(b | a=0) ≈ (0.9, 0.1)
+        let mut logits = Vec::new();
+        net.forward(&[0, net.mask_token(1)], 1, false, &mut logits);
+        let mut p = Vec::new();
+        net.column_softmax(&logits, 0, 1, &mut p);
+        assert!((p[0] - 0.9).abs() < 0.05, "P(b=0|a=0) = {}", p[0]);
+        // and P(a) ≈ uniform
+        net.column_softmax(&logits, 0, 0, &mut p);
+        assert!((p[0] - 0.5).abs() < 0.05, "P(a=0) = {}", p[0]);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 2000;
+        let mut data = Vec::with_capacity(n * 3);
+        for _ in 0..n {
+            let a = rng.random_range(0..5usize);
+            data.push(a);
+            data.push((a * 2) % 7); // deterministic function of a
+            data.push(rng.random_range(0..3usize));
+        }
+        let mut net = tiny_net(vec![5, 7, 3], 5);
+        let mut opt = Adam::new(AdamConfig::default());
+        let bs = 100;
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..25 {
+            for chunk in data.chunks_exact(bs * 3) {
+                last = net.train_batch(chunk, chunk, bs);
+                first.get_or_insert(last);
+                opt.step(&mut net);
+            }
+        }
+        let first = first.unwrap();
+        assert!(last.is_finite() && first.is_finite());
+        // the b column is a deterministic function of a: plenty of loss to shed
+        assert!(last < first - 1.0, "loss should fall materially: {first} -> {last}");
+    }
+
+    #[test]
+    fn wildcard_mask_token_feeds_distinct_embedding() {
+        let mut net = tiny_net(vec![4, 3], 6);
+        let mut out_a = Vec::new();
+        let mut out_b = Vec::new();
+        // same prefix, col-0 value vs MASK: col-1 conditionals must differ
+        net.forward(&[1, 0], 1, false, &mut out_a);
+        net.forward(&[net.mask_token(0), 0], 1, false, &mut out_b);
+        let r1 = net.logit_range(1);
+        assert_ne!(&out_a[r1.clone()], &out_b[r1]);
+    }
+
+    #[test]
+    fn forward_column_matches_full_forward() {
+        let mut net = tiny_net(vec![4, 3, 5], 11);
+        let inputs = [1usize, 2, 0, 3, 1, 4];
+        let mut full = Vec::new();
+        net.forward(&inputs, 2, false, &mut full);
+        for col in 0..3 {
+            let mut partial = Vec::new();
+            net.forward_column(&inputs, 2, col, &mut partial);
+            let width = net.domain_size(col);
+            for b in 0..2 {
+                let want = &full
+                    [b * net.total_logits() + net.logit_range(col).start..][..width];
+                let got = &partial[b * width..(b + 1) * width];
+                assert_eq!(want, got, "col {col} batch {b}");
+            }
+            // softmaxes agree too
+            let mut p1 = Vec::new();
+            let mut p2 = Vec::new();
+            net.column_softmax(&full, 1, col, &mut p1);
+            net.row_softmax(&partial, 1, width, &mut p2);
+            assert_eq!(p1, p2);
+        }
+    }
+
+    #[test]
+    fn param_count_and_size() {
+        let mut net = tiny_net(vec![4, 3], 8);
+        let n_params = net.num_params();
+        // embeddings: (4+1)*8 + (3+1)*8 = 72; layers exist too
+        assert!(n_params > 72);
+        assert_eq!(net.size_bytes(), n_params * 4);
+    }
+
+    #[test]
+    fn single_column_model_learns_marginal() {
+        let mut data = Vec::new();
+        for _ in 0..300 {
+            data.push(0usize);
+            data.push(0);
+            data.push(1);
+        } // P(0)=2/3
+        let mut net = tiny_net(vec![2], 10);
+        let mut opt = Adam::new(AdamConfig { lr: 1e-2, ..Default::default() });
+        for _ in 0..40 {
+            for chunk in data.chunks_exact(90) {
+                net.train_batch(chunk, chunk, 90);
+                opt.step(&mut net);
+            }
+        }
+        let mut logits = Vec::new();
+        net.forward(&[net.mask_token(0)], 1, false, &mut logits);
+        let mut p = Vec::new();
+        net.column_softmax(&logits, 0, 0, &mut p);
+        assert!((p[0] - 2.0 / 3.0).abs() < 0.05, "P(0) = {}", p[0]);
+    }
+}

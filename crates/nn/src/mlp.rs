@@ -1,0 +1,173 @@
+//! A plain fully-connected network for the query-driven baselines.
+//!
+//! MSCN-style estimators featurise a query into a fixed-length vector and
+//! regress its (log-)selectivity. This MLP has ReLU hidden layers and a
+//! single linear output trained with mean-squared error.
+
+use crate::init::Initializer;
+use crate::linear::{Linear, Relu};
+use crate::Parameters;
+
+/// Configuration of an [`Mlp`].
+#[derive(Debug, Clone)]
+pub struct MlpConfig {
+    /// Input feature width.
+    pub in_dim: usize,
+    /// Hidden widths, e.g. `[256, 256]` (the paper's MSCN setting).
+    pub hidden: Vec<usize>,
+    /// Weight init seed.
+    pub seed: u64,
+}
+
+/// MLP with scalar output.
+#[derive(Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    relus: Vec<Relu>,
+    bufs: Vec<Vec<f32>>,
+    grads: Vec<Vec<f32>>,
+}
+
+impl Mlp {
+    /// Build from config.
+    pub fn new(cfg: &MlpConfig) -> Self {
+        let mut init = Initializer::new(cfg.seed);
+        let mut layers = Vec::new();
+        let mut prev = cfg.in_dim;
+        for &h in &cfg.hidden {
+            layers.push(Linear::new(prev, h, &mut init));
+            prev = h;
+        }
+        layers.push(Linear::new(prev, 1, &mut init));
+        let nl = layers.len();
+        Mlp {
+            relus: vec![Relu::default(); nl - 1],
+            layers,
+            bufs: vec![Vec::new(); nl + 1],
+            grads: vec![Vec::new(); nl + 1],
+        }
+    }
+
+    /// Forward `batch` rows of features; returns one scalar per row.
+    pub fn predict(&mut self, x: &[f32], batch: usize, out: &mut Vec<f32>) {
+        self.forward(x, batch, false);
+        out.clear();
+        out.extend_from_slice(&self.bufs[self.layers.len()]);
+    }
+
+    fn forward(&mut self, x: &[f32], batch: usize, cache: bool) {
+        self.bufs[0].clear();
+        self.bufs[0].extend_from_slice(x);
+        let nl = self.layers.len();
+        for l in 0..nl {
+            let (head, tail) = self.bufs.split_at_mut(l + 1);
+            let (xin, y) = (&head[l], &mut tail[0]);
+            if cache {
+                self.layers[l].forward(xin, batch, y);
+            } else {
+                self.layers[l].forward_no_cache(xin, batch, y);
+            }
+            if l + 1 < nl {
+                if cache {
+                    self.relus[l].forward(y);
+                } else {
+                    Relu::forward_no_cache(y);
+                }
+            }
+        }
+    }
+
+    /// One MSE training step on `(x, y)`; gradients accumulated for the
+    /// optimiser. Returns the batch MSE.
+    pub fn train_batch(&mut self, x: &[f32], y: &[f32], batch: usize) -> f32 {
+        assert_eq!(y.len(), batch);
+        self.forward(x, batch, true);
+        let nl = self.layers.len();
+        let preds = &self.bufs[nl];
+        let mut loss = 0.0f32;
+        let mut dy = vec![0.0f32; batch];
+        let scale = 1.0 / batch as f32;
+        for b in 0..batch {
+            let err = preds[b] - y[b];
+            loss += err * err;
+            dy[b] = 2.0 * err * scale;
+        }
+        loss *= scale;
+        self.grads[nl] = dy;
+        for l in (0..nl).rev() {
+            let (head, tail) = self.grads.split_at_mut(l + 1);
+            let (gin, gout) = (&mut head[l], &tail[0]);
+            let mut d = gout.clone();
+            if l + 1 < nl {
+                self.relus[l].backward(&mut d);
+            }
+            self.layers[l].backward(&d, gin);
+        }
+        loss
+    }
+}
+
+impl Parameters for Mlp {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        for l in &mut self.layers {
+            l.visit_params(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adam::{Adam, AdamConfig};
+
+    #[test]
+    fn fits_a_linear_function() {
+        // y = 2 x0 - x1 + 0.5
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..200 {
+            let a = (i % 20) as f32 / 20.0;
+            let b = (i % 7) as f32 / 7.0;
+            xs.push(a);
+            xs.push(b);
+            ys.push(2.0 * a - b + 0.5);
+        }
+        let mut mlp = Mlp::new(&MlpConfig { in_dim: 2, hidden: vec![16], seed: 3 });
+        let mut opt = Adam::new(AdamConfig { lr: 1e-2, ..Default::default() });
+        let mut last = f32::INFINITY;
+        for _ in 0..300 {
+            last = mlp.train_batch(&xs, &ys, 200);
+            opt.step(&mut mlp);
+        }
+        assert!(last < 1e-3, "final MSE {last}");
+        let mut out = Vec::new();
+        mlp.predict(&[0.5, 0.5], 1, &mut out);
+        assert!((out[0] - 1.0).abs() < 0.1, "{}", out[0]);
+    }
+
+    #[test]
+    fn fits_a_nonlinear_function() {
+        // y = |x| needs the hidden layer
+        let xs: Vec<f32> = (-50..50).map(|i| i as f32 / 25.0).collect();
+        let ys: Vec<f32> = xs.iter().map(|x| x.abs()).collect();
+        let mut mlp = Mlp::new(&MlpConfig { in_dim: 1, hidden: vec![32, 32], seed: 4 });
+        let mut opt = Adam::new(AdamConfig { lr: 5e-3, ..Default::default() });
+        let mut last = f32::INFINITY;
+        for _ in 0..600 {
+            last = mlp.train_batch(&xs, &ys, xs.len());
+            opt.step(&mut mlp);
+        }
+        assert!(last < 5e-3, "final MSE {last}");
+    }
+
+    #[test]
+    fn predict_is_pure() {
+        let mut mlp = Mlp::new(&MlpConfig { in_dim: 3, hidden: vec![8], seed: 5 });
+        let x = [0.1, 0.2, 0.3];
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        mlp.predict(&x, 1, &mut a);
+        mlp.predict(&x, 1, &mut b);
+        assert_eq!(a, b);
+    }
+}

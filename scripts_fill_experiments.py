@@ -1,0 +1,17 @@
+#!/usr/bin/env python3
+"""Extract the printed tables from bench_output.txt and append them to
+EXPERIMENTS.md as the measured-results appendix."""
+import re, sys
+
+bench = open('bench_output.txt').read()
+blocks = re.findall(r'(=== .+? ===\n(?:.+\n)+?)(?=\n|\Z)', bench)
+out = ["\n---\n\n## Appendix: measured output of the final bench run\n"]
+for b in blocks:
+    title = b.splitlines()[0].strip('= ').strip()
+    out.append(f"\n### {title}\n\n```text\n{b.strip()}\n```\n")
+md = open('EXPERIMENTS.md').read()
+marker = "## Appendix: measured output of the final bench run"
+if marker in md:
+    md = md[:md.index("\n---\n\n" + marker)]
+open('EXPERIMENTS.md', 'w').write(md + "".join(out))
+print(f"injected {len(blocks)} blocks")
