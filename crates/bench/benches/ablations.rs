@@ -27,21 +27,9 @@ fn main() {
     );
     let base = scale.iam_config();
     eval(&exp, base.clone(), "IAM");
-    eval(
-        &exp,
-        IamConfig { hard_range_weights: true, ..base.clone() },
-        "hard-corr",
-    );
-    eval(
-        &exp,
-        IamConfig { joint_training: false, ..base.clone() },
-        "separate",
-    );
-    eval(
-        &exp,
-        IamConfig { wildcard_skipping: false, ..base.clone() },
-        "no-wildcard",
-    );
+    eval(&exp, IamConfig { hard_range_weights: true, ..base.clone() }, "hard-corr");
+    eval(&exp, IamConfig { joint_training: false, ..base.clone() }, "separate");
+    eval(&exp, IamConfig { wildcard_skipping: false, ..base.clone() }, "no-wildcard");
 
     // column order: reversed column order on WISDM (left-to-right vs
     // right-to-left, paper §4.3)
@@ -67,8 +55,5 @@ fn main() {
         use iam_data::SelectivityEstimator;
         errors.push(iam_data::q_error(*truth, est.estimate(&rq), rev_table.nrows()));
     }
-    println!(
-        "{}",
-        iam_data::ErrorSummary::from_errors(&errors).unwrap().table_row("reversed")
-    );
+    println!("{}", iam_data::ErrorSummary::from_errors(&errors).unwrap().table_row("reversed"));
 }

@@ -45,11 +45,8 @@ fn iam_inference(c: &mut Criterion) {
     let cfg = IamConfig { epochs: 2, samples: 256, ..IamConfig::small() };
     let mut iam = IamEstimator::fit(&table, cfg);
     let mut gen = WorkloadGenerator::new(&table, WorkloadConfig::default(), 5);
-    let rqs: Vec<RangeQuery> = gen
-        .gen_queries(16)
-        .into_iter()
-        .map(|q| q.normalize(table.ncols()).unwrap().0)
-        .collect();
+    let rqs: Vec<RangeQuery> =
+        gen.gen_queries(16).into_iter().map(|q| q.normalize(table.ncols()).unwrap().0).collect();
     let mut i = 0usize;
     c.bench_function("iam_estimate_single", |b| {
         b.iter(|| {

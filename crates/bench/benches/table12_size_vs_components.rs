@@ -15,10 +15,7 @@ fn main() {
     let tables: Vec<(String, iam_data::Table)> = Dataset::all()
         .iter()
         .map(|d| (d.name().to_string(), d.generate(scale.rows, scale.seed)))
-        .chain(std::iter::once((
-            "IMDB".to_string(),
-            JoinExperiment::prepare(&scale).flat,
-        )))
+        .chain(std::iter::once(("IMDB".to_string(), JoinExperiment::prepare(&scale).flat)))
         .collect();
     for k in ks {
         print!("{k:<6}");

@@ -34,9 +34,6 @@ fn main() {
         sizes[3][di] = iam.model_size_bytes() as f64 / 1024.0;
     }
     for (name, row) in ["MSCN", "DeepDB", "Neurocard", "IAM"].iter().zip(&sizes) {
-        println!(
-            "{:<12} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
-            name, row[0], row[1], row[2], row[3]
-        );
+        println!("{:<12} {:>9.1} {:>9.1} {:>9.1} {:>9.1}", name, row[0], row[1], row[2], row[3]);
     }
 }

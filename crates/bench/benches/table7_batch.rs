@@ -5,8 +5,8 @@ use iam_bench::join_exp::JoinExperiment;
 use iam_bench::BenchScale;
 use iam_core::{neurocard_lite, IamEstimator};
 use iam_data::RangeQuery;
-use iam_estimators::{mscn::MscnConfig, MscnLite};
 use iam_data::SelectivityEstimator;
+use iam_estimators::{mscn::MscnConfig, MscnLite};
 use std::time::Instant;
 
 fn main() {
@@ -24,8 +24,7 @@ fn main() {
         MscnConfig { seed: exp.scale.seed, ..Default::default() },
     );
 
-    let rqs: Vec<RangeQuery> =
-        exp.eval.iter().map(|(q, _)| exp.schema.rewrite(q)).collect();
+    let rqs: Vec<RangeQuery> = exp.eval.iter().map(|(q, _)| exp.schema.rewrite(q)).collect();
 
     println!("\n=== Table 7: batch inference on IMDB (ms/query) ===");
     println!("{:<12} {:>9} {:>9} {:>9}", "Estimator", "1", "64", "128");

@@ -14,11 +14,8 @@ fn main() {
     let cfg = scale.iam_config();
 
     let t0 = Instant::now();
-    let _mscn = MscnLite::fit(
-        &exp.flat,
-        &exp.train,
-        MscnConfig { seed: scale.seed, ..Default::default() },
-    );
+    let _mscn =
+        MscnLite::fit(&exp.flat, &exp.train, MscnConfig { seed: scale.seed, ..Default::default() });
     let mscn_s = t0.elapsed().as_secs_f64();
 
     let t0 = Instant::now();

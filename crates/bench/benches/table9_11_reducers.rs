@@ -38,17 +38,10 @@ fn main() {
         eprintln!("[table9-11] {}", ds.name());
         let exp = SingleTableExperiment::prepare(*ds, &scale);
         println!("\n=== Table {}: domain reducers on {} ===", 9 + tno, ds.name());
-        println!(
-            "{:<14} {:>9} {:>9} {:>9} {:>11}",
-            "Method", "Median", "95th", "Max", "est (ms)"
-        );
+        println!("{:<14} {:>9} {:>9} {:>9} {:>11}", "Method", "Median", "95th", "Max", "est (ms)");
         for (kind, counts) in &sweeps {
             for &k in *counts {
-                let cfg = IamConfig {
-                    reducer: *kind,
-                    components: k,
-                    ..scale.iam_config()
-                };
+                let cfg = IamConfig { reducer: *kind, components: k, ..scale.iam_config() };
                 run(&exp, cfg, &format!("{} ({k})", kind.name()));
             }
         }

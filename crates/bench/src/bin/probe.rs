@@ -5,7 +5,14 @@ use iam_data::synth::Dataset;
 use iam_data::{q_error, SelectivityEstimator};
 
 fn main() {
-    let scale = BenchScale { rows: 16000, queries: 80, train_queries: 10, epochs: 10, samples: 512, seed: 42 };
+    let scale = BenchScale {
+        rows: 16000,
+        queries: 80,
+        train_queries: 10,
+        epochs: 10,
+        samples: 512,
+        seed: 42,
+    };
     let exp = SingleTableExperiment::prepare(Dataset::Wisdm, &scale);
     let mut cfg = scale.iam_config();
     let args: Vec<String> = std::env::args().collect();
@@ -20,20 +27,28 @@ fn main() {
             _ => {}
         }
     }
-    eprintln!("cfg: joint={} wild={} samples={} hidden={:?} epochs={} lr={}", cfg.joint_training, cfg.wildcard_skipping, cfg.samples, cfg.hidden, cfg.epochs, cfg.lr);
+    eprintln!(
+        "cfg: joint={} wild={} samples={} hidden={:?} epochs={} lr={}",
+        cfg.joint_training, cfg.wildcard_skipping, cfg.samples, cfg.hidden, cfg.epochs, cfg.lr
+    );
     let t0 = std::time::Instant::now();
     let mut iam = IamEstimator::fit(&exp.table, cfg);
-    eprintln!("train {:.1}s losses {:?}", t0.elapsed().as_secs_f64(), iam.stats.iter().map(|s| (s.ar_loss*100.0).round()/100.0).collect::<Vec<_>>());
+    eprintln!(
+        "train {:.1}s losses {:?}",
+        t0.elapsed().as_secs_f64(),
+        iam.stats.iter().map(|s| (s.ar_loss * 100.0).round() / 100.0).collect::<Vec<_>>()
+    );
     let mut rows: Vec<(f64, String, f64, f64)> = Vec::new();
     for (q, rq, truth) in &exp.eval {
         let est = iam.estimate(rq);
         let e = q_error(*truth, est, exp.table.nrows());
-        let desc: Vec<String> = q.predicates.iter().map(|p| format!("c{}{:?}{:.1}", p.col, p.op, p.value)).collect();
+        let desc: Vec<String> =
+            q.predicates.iter().map(|p| format!("c{}{:?}{:.1}", p.col, p.op, p.value)).collect();
         rows.push((e, desc.join("&"), *truth, est));
     }
     rows.sort_by(|a, b| b.0.total_cmp(&a.0));
     let mean = rows.iter().map(|r| r.0).sum::<f64>() / rows.len() as f64;
-    println!("mean {:.2}  median {:.2}  max {:.1}", mean, rows[rows.len()/2].0, rows[0].0);
+    println!("mean {:.2}  median {:.2}  max {:.1}", mean, rows[rows.len() / 2].0, rows[0].0);
     for r in rows.iter().take(10) {
         println!("qerr {:8.1}  truth {:.6} est {:.6}  {}", r.0, r.2, r.3, r.1);
     }

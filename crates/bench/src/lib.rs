@@ -120,8 +120,7 @@ impl SingleTableExperiment {
                 (q, rq, truth)
             })
             .collect();
-        let mut tgen =
-            WorkloadGenerator::new(&table, WorkloadConfig::default(), scale.seed ^ 0x7A);
+        let mut tgen = WorkloadGenerator::new(&table, WorkloadConfig::default(), scale.seed ^ 0x7A);
         let train = tgen
             .gen_queries(scale.train_queries)
             .into_iter()
@@ -141,8 +140,7 @@ impl SingleTableExperiment {
             .iter()
             .map(|(_, rq, truth)| q_error(*truth, est.estimate(rq), self.table.nrows()))
             .collect();
-        let per_query_ms =
-            started.elapsed().as_secs_f64() * 1000.0 / self.eval.len().max(1) as f64;
+        let per_query_ms = started.elapsed().as_secs_f64() * 1000.0 / self.eval.len().max(1) as f64;
         (ErrorSummary::from_errors(&errors).expect("nonempty eval set"), per_query_ms)
     }
 }

@@ -102,11 +102,7 @@ impl IamEstimator {
     /// values and importance weights (wildcard slots are *sampled from the
     /// full conditional* here, since the aggregate's target column may be
     /// unconstrained).
-    fn sample_region(
-        &mut self,
-        plan: &[SlotConstraint],
-        n: usize,
-    ) -> (Vec<Vec<usize>>, Vec<f64>) {
+    fn sample_region(&mut self, plan: &[SlotConstraint], n: usize) -> (Vec<Vec<usize>>, Vec<f64>) {
         // aggregate sampling must materialise every slot, so replace
         // wildcards with full ranges
         let full_plan: Vec<SlotConstraint> = plan
@@ -143,12 +139,12 @@ impl IamEstimator {
                     SlotConstraint::Range(a, b) => {
                         weighted.clear();
                         weighted.extend(probs[*a..=*b].iter().map(|&p| p as f64));
-                        draw(&weighted, &mut weights[row], &mut self.rng_mut()).map(|j| a + j)
+                        draw(&weighted, &mut weights[row], self.rng_mut()).map(|j| a + j)
                     }
                     SlotConstraint::Weights(w) => {
                         weighted.clear();
                         weighted.extend(probs.iter().zip(w).map(|(&p, &m)| p as f64 * m));
-                        draw(&weighted, &mut weights[row], &mut self.rng_mut())
+                        draw(&weighted, &mut weights[row], self.rng_mut())
                     }
                     SlotConstraint::FactorLo { lo_idx, hi_idx, base } => {
                         let hi_s = inputs[row * nslots + slot - 1];
@@ -161,8 +157,7 @@ impl IamEstimator {
                         } else {
                             weighted.clear();
                             weighted.extend(probs[a..=b].iter().map(|&p| p as f64));
-                            draw(&weighted, &mut weights[row], &mut self.rng_mut())
-                                .map(|j| a + j)
+                            draw(&weighted, &mut weights[row], self.rng_mut()).map(|j| a + j)
                         }
                     }
                     SlotConstraint::Wildcard => unreachable!("wildcards replaced above"),
@@ -172,21 +167,15 @@ impl IamEstimator {
                 }
             }
         }
-        let tuples = (0..n)
-            .map(|row| inputs[row * nslots..(row + 1) * nslots].to_vec())
-            .collect();
+        let tuples = (0..n).map(|row| inputs[row * nslots..(row + 1) * nslots].to_vec()).collect();
         (tuples, weights)
     }
 
     /// Reconstruct a representative raw value of `col` from sampled slots.
     fn reconstruct_value(&self, slots: &[usize], col: usize, iv: &Interval) -> f64 {
         // locate the slot(s) of this column
-        let first_slot = self
-            .schema
-            .slots
-            .iter()
-            .position(|r| r.col() == col)
-            .expect("column has a slot");
+        let first_slot =
+            self.schema.slots.iter().position(|r| r.col() == col).expect("column has a slot");
         match &self.schema.handlers[col] {
             ColumnHandler::Direct(enc) => enc.decode(slots[first_slot]),
             ColumnHandler::Factorized { enc, base } => {
@@ -197,12 +186,9 @@ impl IamEstimator {
             ColumnHandler::Reduced(r) => {
                 let k = slots[first_slot];
                 match r.as_gmm() {
-                    Some(g) => truncated_normal_mean(
-                        g.gmm().means[k],
-                        g.gmm().stds[k],
-                        iv.lo,
-                        iv.hi,
-                    ),
+                    Some(g) => {
+                        truncated_normal_mean(g.gmm().means[k], g.gmm().stds[k], iv.lo, iv.hi)
+                    }
                     // histogram-family reducers: midpoint of bucket ∩ range
                     None => {
                         let mut mass = Vec::new();
@@ -285,8 +271,7 @@ mod tests {
     fn truncated_mean_identities() {
         // untruncated: mean itself
         assert!(
-            (truncated_normal_mean(2.0, 1.0, f64::NEG_INFINITY, f64::INFINITY) - 2.0).abs()
-                < 1e-9
+            (truncated_normal_mean(2.0, 1.0, f64::NEG_INFINITY, f64::INFINITY) - 2.0).abs() < 1e-9
         );
         // symmetric truncation: mean preserved
         assert!((truncated_normal_mean(0.0, 1.0, -2.0, 2.0)).abs() < 1e-9);
@@ -315,11 +300,7 @@ mod tests {
         }
         let truth_avg = s / k as f64;
         let truth_count = k as f64;
-        assert!(
-            (agg.avg - truth_avg).abs() < 1.5,
-            "AVG: est {} truth {truth_avg}",
-            agg.avg
-        );
+        assert!((agg.avg - truth_avg).abs() < 1.5, "AVG: est {} truth {truth_avg}", agg.avg);
         assert!(
             (agg.count - truth_count).abs() < 0.2 * truth_count,
             "COUNT: est {} truth {truth_count}",

@@ -6,7 +6,7 @@ use crate::schema::IamSchema;
 use crate::train::{self, EpochStats};
 use iam_data::{RangeQuery, SelectivityEstimator, Table};
 use iam_gmm::GmmSgdTrainer;
-use iam_nn::{Adam, AdamConfig, MadeConfig, MadeNet, Parameters};
+use iam_nn::{Adam, AdamConfig, InferScratch, MadeConfig, MadeNet, Parameters};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -24,6 +24,7 @@ pub struct IamEstimator {
     gmm_trainers: Vec<Option<GmmSgdTrainer>>,
     nrows: usize,
     rng: StdRng,
+    scratch: InferScratch,
     name: String,
     /// Loss curve, one entry per trained epoch.
     pub stats: Vec<EpochStats>,
@@ -58,6 +59,7 @@ impl IamEstimator {
             opt,
             gmm_trainers,
             nrows: table.nrows(),
+            scratch: InferScratch::new(),
             name,
             stats: Vec::new(),
             cfg,
@@ -106,6 +108,7 @@ impl IamEstimator {
             opt,
             gmm_trainers,
             nrows,
+            scratch: InferScratch::new(),
             name: name.to_string(),
             stats: Vec::new(),
             cfg,
@@ -130,12 +133,46 @@ impl IamEstimator {
     pub fn estimate_batch(&mut self, queries: &[RangeQuery]) -> Vec<f64> {
         let plans: Vec<_> = queries.iter().map(|q| self.schema.query_plan(q)).collect();
         infer::estimate_batch(
-            &mut self.net,
+            &self.net,
             &self.schema,
             &plans,
             self.cfg.samples,
             &mut self.rng,
+            &mut self.scratch,
         )
+    }
+
+    /// Deterministic, shareable batched inference: `&self`, so a single
+    /// trained model behind an `Arc` can serve many threads concurrently.
+    ///
+    /// Each query's sampling seed is derived from the model's
+    /// [`Self::sampling_salt`] and the query's
+    /// [`RangeQuery::canonical_key`], making every estimate a pure function
+    /// of (model, query): independent of batch composition, of `threads`,
+    /// and of calls that came before. The serving layer relies on this for
+    /// bitwise-reproducible responses and a coherent result cache.
+    ///
+    /// `threads > 1` fans the batch out with `std::thread::scope`
+    /// (see [`infer::estimate_batch_parallel`]).
+    pub fn estimate_batch_shared(&self, queries: &[RangeQuery], threads: usize) -> Vec<f64> {
+        let plans: Vec<_> = queries.iter().map(|q| self.schema.query_plan(q)).collect();
+        let salt = self.sampling_salt();
+        let seeds: Vec<u64> = queries.iter().map(|q| salt ^ q.canonical_key()).collect();
+        infer::estimate_batch_parallel(
+            &self.net,
+            &self.schema,
+            &plans,
+            self.cfg.samples,
+            &seeds,
+            threads,
+        )
+    }
+
+    /// Salt mixed into per-query sampling seeds by
+    /// [`Self::estimate_batch_shared`]. Derived from the persisted config
+    /// seed, so a saved-then-loaded model reproduces identical estimates.
+    pub fn sampling_salt(&self) -> u64 {
+        self.cfg.seed ^ 0x5A17_BA7C
     }
 
     /// Reseed the sampler (thread-cloned estimators should diverge).
@@ -190,6 +227,7 @@ impl Clone for IamEstimator {
             gmm_trainers: self.gmm_trainers.clone(),
             nrows: self.nrows,
             rng: StdRng::seed_from_u64(self.cfg.seed ^ 0xC10E),
+            scratch: InferScratch::new(),
             name: self.name.clone(),
             stats: self.stats.clone(),
         }
@@ -278,8 +316,7 @@ mod tests {
     fn estimates_track_truth_on_correlated_data() {
         let t = corr_table(8000, 4);
         let mut est = IamEstimator::fit(&t, quick_cfg());
-        let mut gen =
-            WorkloadGenerator::new(&t, WorkloadConfig::default(), 99);
+        let mut gen = WorkloadGenerator::new(&t, WorkloadConfig::default(), 99);
         let mut errs = Vec::new();
         for q in gen.gen_queries(40) {
             let truth = exact_selectivity(&t, &q);
@@ -311,10 +348,7 @@ mod tests {
         let sel_hit = est.estimate(&rq_hit);
         let sel_miss = est.estimate(&rq_miss);
         let truth_hit = exact_selectivity(&t, &q_hit);
-        assert!(
-            (sel_hit - truth_hit).abs() < 0.08,
-            "hit: est {sel_hit} truth {truth_hit}"
-        );
+        assert!((sel_hit - truth_hit).abs() < 0.08, "hit: est {sel_hit} truth {truth_hit}");
         assert!(sel_miss < 0.02, "miss: {sel_miss}");
     }
 
@@ -343,16 +377,33 @@ mod tests {
         let mut est = IamEstimator::fit(&t, quick_cfg());
         let mut gen = WorkloadGenerator::new(&t, WorkloadConfig::default(), 13);
         let queries = gen.gen_queries(8);
-        let rqs: Vec<RangeQuery> =
-            queries.iter().map(|q| q.normalize(2).unwrap().0).collect();
+        let rqs: Vec<RangeQuery> = queries.iter().map(|q| q.normalize(2).unwrap().0).collect();
         let batch = est.estimate_batch(&rqs);
         for (rq, &b) in rqs.iter().zip(&batch) {
             let single = est.estimate(rq);
             // same model, fresh randomness: close but not identical
-            assert!(
-                (single - b).abs() < 0.08 + 0.3 * b,
-                "single {single} vs batch {b}"
-            );
+            assert!((single - b).abs() < 0.08 + 0.3 * b, "single {single} vs batch {b}");
+        }
+    }
+
+    #[test]
+    fn shared_inference_is_deterministic_and_thread_invariant() {
+        let t = corr_table(3000, 12);
+        let est = IamEstimator::fit(&t, quick_cfg());
+        let mut gen = WorkloadGenerator::new(&t, WorkloadConfig::default(), 21);
+        let rqs: Vec<RangeQuery> =
+            gen.gen_queries(12).iter().map(|q| q.normalize(2).unwrap().0).collect();
+
+        let seq = est.estimate_batch_shared(&rqs, 1);
+        let par = est.estimate_batch_shared(&rqs, 4);
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.to_bits(), b.to_bits(), "thread count changed an estimate");
+        }
+        // composition independence: a query answered alone must match the
+        // same query answered inside the batch, bit for bit
+        for (i, rq) in rqs.iter().enumerate() {
+            let solo = est.estimate_batch_shared(std::slice::from_ref(rq), 1)[0];
+            assert_eq!(solo.to_bits(), seq[i].to_bits(), "query {i} batch-dependent");
         }
     }
 

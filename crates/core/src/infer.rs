@@ -7,23 +7,57 @@
 //! correction that makes the sampler unbiased (Theorem 5.1). The factor
 //! `P̂(A_i ∈ R_i | s_<i)` multiplies into the sample's running probability;
 //! the query estimate is the mean over its samples.
+//!
+//! # Determinism and parallelism
+//!
+//! Every query draws from its **own** RNG stream ([`estimate_batch_seeded`]
+//! takes one seed per query), and a query's draws happen in a fixed
+//! (slot, sample) order regardless of which other queries share the batch.
+//! Consequently a query's estimate depends only on the model and its seed —
+//! **not** on batch composition, chunking, or thread count. That invariant
+//! is what lets the serving layer coalesce arbitrary requests into
+//! micro-batches ([`estimate_batch_parallel`]) while staying bitwise
+//! reproducible, and lets cached results be reused safely.
+//!
+//! The forward passes still run batched across all of a chunk's queries at
+//! each slot — the shared-GEMM amortisation of §5.3 ("Batch Query
+//! Inference", Table 7) is preserved.
 
 use crate::schema::{IamSchema, SlotConstraint};
-use iam_nn::MadeNet;
+use iam_nn::{InferScratch, MadeNet};
 use rand::rngs::StdRng;
-use rand::RngExt;
+use rand::{RngExt, SeedableRng};
 
-/// Batched progressive-sampling estimator.
+/// Batched progressive-sampling estimator (sequential, caller-provided RNG).
 ///
 /// `plans[q]` is the slot-constraint plan for query `q` (`None` → provably
-/// empty, estimate 0). Returns one selectivity per query.
+/// empty, estimate 0). Returns one selectivity per query. Per-query seeds
+/// are drawn up-front from `rng`, so results are a deterministic function
+/// of the RNG state at entry.
 pub fn estimate_batch(
-    net: &mut MadeNet,
+    net: &MadeNet,
     schema: &IamSchema,
     plans: &[Option<Vec<SlotConstraint>>],
     samples_per_query: usize,
     rng: &mut StdRng,
+    scratch: &mut InferScratch,
 ) -> Vec<f64> {
+    let seeds: Vec<u64> = plans.iter().map(|_| rng.random::<u64>()).collect();
+    estimate_batch_seeded(net, schema, plans, samples_per_query, &seeds, scratch)
+}
+
+/// Like [`estimate_batch`], but with one explicit RNG seed per query:
+/// `results[q]` depends only on `(net, schema, plans[q], samples_per_query,
+/// seeds[q])` — never on the other queries in the batch.
+pub fn estimate_batch_seeded(
+    net: &MadeNet,
+    schema: &IamSchema,
+    plans: &[Option<Vec<SlotConstraint>>],
+    samples_per_query: usize,
+    seeds: &[u64],
+    scratch: &mut InferScratch,
+) -> Vec<f64> {
+    assert_eq!(plans.len(), seeds.len(), "one seed per query");
     let nslots = schema.nslots();
     let sp = samples_per_query.max(1);
     // map live queries to sample-row blocks
@@ -33,6 +67,7 @@ pub fn estimate_batch(
         return results;
     }
     let rows = live.len() * sp;
+    let mut rngs: Vec<StdRng> = live.iter().map(|&q| StdRng::seed_from_u64(seeds[q])).collect();
 
     // sample state: all slots start at their MASK token
     let mut inputs: Vec<usize> = Vec::with_capacity(rows * nslots);
@@ -73,18 +108,18 @@ pub fn estimate_batch(
         for &row in &gather_rows {
             gather_inputs.extend_from_slice(&inputs[row * nslots..(row + 1) * nslots]);
         }
-        net.forward_column(&gather_inputs, gather_rows.len(), slot, &mut logits);
+        net.forward_column_into(scratch, &gather_inputs, gather_rows.len(), slot, &mut logits);
         let width = net.domain_size(slot);
 
         for (gi, &row) in gather_rows.iter().enumerate() {
-            let q = live[row / sp];
+            let li = row / sp;
+            let q = live[li];
+            let rng = &mut rngs[li];
             let plan = plans[q].as_ref().expect("live query has a plan");
             net.row_softmax(&logits, gi, width, &mut probs);
             let picked = match &plan[slot] {
                 SlotConstraint::Wildcard => unreachable!("wildcards were filtered"),
-                SlotConstraint::Range(a, b) => {
-                    sample_range(&probs, *a, *b, &mut p_hat[row], rng)
-                }
+                SlotConstraint::Range(a, b) => sample_range(&probs, *a, *b, &mut p_hat[row], rng),
                 SlotConstraint::Weights(w) => {
                     debug_assert_eq!(w.len(), width);
                     weighted.clear();
@@ -116,6 +151,49 @@ pub fn estimate_batch(
         let block = &p_hat[li * sp..(li + 1) * sp];
         results[q] = (block.iter().sum::<f64>() / sp as f64).clamp(0.0, 1.0);
     }
+    results
+}
+
+/// Parallel batched inference: queries are split into contiguous chunks,
+/// one `std::thread::scope` worker per chunk, all sharing the model
+/// immutably. Each worker keeps its own [`InferScratch`], so the hot path
+/// allocates nothing beyond first-use buffer growth.
+///
+/// Because of the per-query seeding invariant (see module docs), the
+/// result is bitwise identical to [`estimate_batch_seeded`] with the same
+/// seeds, for every `threads` value.
+pub fn estimate_batch_parallel(
+    net: &MadeNet,
+    schema: &IamSchema,
+    plans: &[Option<Vec<SlotConstraint>>],
+    samples_per_query: usize,
+    seeds: &[u64],
+    threads: usize,
+) -> Vec<f64> {
+    assert_eq!(plans.len(), seeds.len(), "one seed per query");
+    let threads = threads.clamp(1, plans.len().max(1));
+    if threads == 1 {
+        let mut scratch = InferScratch::new();
+        return estimate_batch_seeded(net, schema, plans, samples_per_query, seeds, &mut scratch);
+    }
+    let chunk = plans.len().div_ceil(threads);
+    let mut results = vec![0.0f64; plans.len()];
+    std::thread::scope(|s| {
+        let handles: Vec<_> = plans
+            .chunks(chunk)
+            .zip(seeds.chunks(chunk))
+            .map(|(pc, sc)| {
+                s.spawn(move || {
+                    let mut scratch = InferScratch::new();
+                    estimate_batch_seeded(net, schema, pc, samples_per_query, sc, &mut scratch)
+                })
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let part = h.join().expect("inference worker panicked");
+            results[i * chunk..i * chunk + part.len()].copy_from_slice(&part);
+        }
+    });
     results
 }
 
@@ -168,7 +246,6 @@ fn sample_weighted(weighted: &[f64], p_hat: &mut f64, rng: &mut StdRng) -> Optio
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn sample_range_masses_accumulate() {

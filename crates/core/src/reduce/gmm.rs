@@ -131,11 +131,8 @@ mod tests {
     fn mc_mode_tracks_exact_mode() {
         let (gmm, _) = fitted();
         let exact = GmmReducer::new(gmm.clone(), RangeMassMode::Exact, 0);
-        let mc = GmmReducer::new(
-            gmm,
-            RangeMassMode::MonteCarlo { samples_per_component: 10_000 },
-            7,
-        );
+        let mc =
+            GmmReducer::new(gmm, RangeMassMode::MonteCarlo { samples_per_component: 10_000 }, 7);
         let iv = Interval::closed(-2.0, 3.0);
         let (mut a, mut b) = (Vec::new(), Vec::new());
         exact.range_mass(&iv, &mut a);

@@ -126,7 +126,7 @@ mod tests {
         let iv = Interval::closed(50.0, 100.0);
         let (est, truth) = empirical_consistency(&h, &values, &iv);
         // it should at least not be wildly negative/overshooting
-        assert!(est >= 0.0 && est <= 1.0);
+        assert!((0.0..=1.0).contains(&est));
         // document the error direction: uniform assumption misprices the
         // tail bucket (truth 51/1000)
         assert!((truth - 0.051).abs() < 1e-9);
@@ -146,6 +146,8 @@ mod tests {
     #[test]
     fn size_grows_with_k() {
         let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
-        assert!(HistReducer::fit(&values, 50).size_bytes() > HistReducer::fit(&values, 5).size_bytes());
+        assert!(
+            HistReducer::fit(&values, 50).size_bytes() > HistReducer::fit(&values, 5).size_bytes()
+        );
     }
 }

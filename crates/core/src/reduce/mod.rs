@@ -82,7 +82,11 @@ pub(crate) mod testutil {
     /// Reference check used by every reducer's tests: the estimator
     /// `Σ_j count(a'=j) · range_mass(R)[j] / n` should approximate the true
     /// fraction of values in `R`, when the reducer fits the data well.
-    pub fn empirical_consistency(reducer: &dyn DomainReducer, values: &[f64], iv: &Interval) -> (f64, f64) {
+    pub fn empirical_consistency(
+        reducer: &dyn DomainReducer,
+        values: &[f64],
+        iv: &Interval,
+    ) -> (f64, f64) {
         let n = values.len() as f64;
         let mut counts = vec![0usize; reducer.k()];
         for &v in values {
@@ -90,12 +94,7 @@ pub(crate) mod testutil {
         }
         let mut mass = Vec::new();
         reducer.range_mass(iv, &mut mass);
-        let est: f64 = counts
-            .iter()
-            .zip(&mass)
-            .map(|(&c, &m)| c as f64 * m)
-            .sum::<f64>()
-            / n;
+        let est: f64 = counts.iter().zip(&mass).map(|(&c, &m)| c as f64 * m).sum::<f64>() / n;
         let truth = values.iter().filter(|&&v| iv.contains(v)).count() as f64 / n;
         (est, truth)
     }

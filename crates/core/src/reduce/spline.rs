@@ -47,7 +47,7 @@ impl SplineReducer {
                 while i < b {
                     let interp = fa + (sorted[i] - xa) / span * (fb - fa);
                     let err = (cdf_at(i) - interp).abs();
-                    if best.map_or(true, |(e, _, _)| err > e) {
+                    if best.is_none_or(|(e, _, _)| err > e) {
                         best = Some((err, s, i));
                     }
                     i += step;

@@ -45,11 +45,8 @@ impl UmmReducer {
             for &x in values {
                 let mut total = 0.0;
                 for j in 0..k {
-                    let d = if x >= lo[j] && x <= hi[j] {
-                        weights[j] / (hi[j] - lo[j])
-                    } else {
-                        0.0
-                    };
+                    let d =
+                        if x >= lo[j] && x <= hi[j] { weights[j] / (hi[j] - lo[j]) } else { 0.0 };
                     resp[j] = d;
                     total += d;
                 }

@@ -72,7 +72,9 @@ impl SlotRole {
     /// The table column this slot belongs to.
     pub fn col(&self) -> usize {
         match *self {
-            SlotRole::Whole { col } | SlotRole::FactorHi { col } | SlotRole::FactorLo { col } => col,
+            SlotRole::Whole { col } | SlotRole::FactorHi { col } | SlotRole::FactorLo { col } => {
+                col
+            }
         }
     }
 }
@@ -119,11 +121,8 @@ impl IamSchema {
     /// Decide handlers for every column of `table` per `cfg`, fitting
     /// reducers on the data, and lay out the AR slots.
     pub fn build(table: &Table, cfg: &IamConfig) -> Self {
-        let handlers: Vec<ColumnHandler> = table
-            .columns
-            .iter()
-            .map(|c| Self::handler_for(c, cfg))
-            .collect();
+        let handlers: Vec<ColumnHandler> =
+            table.columns.iter().map(|c| Self::handler_for(c, cfg)).collect();
         let mut schema = Self::from_handlers(handlers, cfg.wildcard_skipping);
         schema.hard_range_weights = cfg.hard_range_weights;
         schema
@@ -158,9 +157,8 @@ impl IamSchema {
     fn handler_for(column: &Column, cfg: &IamConfig) -> ColumnHandler {
         let enc = ColumnEncoding::from_column(column);
         let domain = enc.domain_size();
-        let reduce = column.is_continuous()
-            && cfg.reduce_continuous
-            && domain > cfg.reduce_threshold;
+        let reduce =
+            column.is_continuous() && cfg.reduce_continuous && domain > cfg.reduce_threshold;
         if reduce {
             let values = match column {
                 Column::Continuous(c) => &c.values,
@@ -383,7 +381,7 @@ mod tests {
         assert_eq!(slots[0], (4321 % 5) as usize);
         // factorised round trip: hi*base + lo == ordinal code
         let code = slots[2] * 2048 + slots[3];
-        assert_eq!(code, 4321 % 5000);
+        assert_eq!(code, 4321);
         assert!(slots[1] < 8);
     }
 
@@ -402,7 +400,10 @@ mod tests {
         assert_eq!(plan[0], SlotConstraint::Range(3, 3));
         assert!(matches!(&plan[1], SlotConstraint::Weights(w) if w.len() == 8));
         assert!(matches!(plan[2], SlotConstraint::Range(_, _)));
-        assert!(matches!(plan[3], SlotConstraint::FactorLo { lo_idx: 4000, hi_idx: 4999, base: 2048 }));
+        assert!(matches!(
+            plan[3],
+            SlotConstraint::FactorLo { lo_idx: 4000, hi_idx: 4999, base: 2048 }
+        ));
     }
 
     #[test]

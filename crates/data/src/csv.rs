@@ -64,15 +64,12 @@ pub fn read_csv<R: BufRead>(name: &str, reader: R) -> Result<Table, DataError> {
             slot.push(fields.get(c).cloned().unwrap_or_default());
         }
     }
-    if raw.first().map_or(true, |c| c.is_empty()) {
+    if raw.first().is_none_or(|c| c.is_empty()) {
         return Err(DataError::EmptyTable);
     }
 
-    let columns = names
-        .into_iter()
-        .zip(raw)
-        .map(|(name, values)| build_column(name, values))
-        .collect();
+    let columns =
+        names.into_iter().zip(raw).map(|(name, values)| build_column(name, values)).collect();
     Table::new(name, columns)
 }
 

@@ -140,10 +140,7 @@ mod tests {
     fn table() -> Table {
         Table::new(
             "t",
-            vec![Column::Continuous(ContColumn::new(
-                "x",
-                (0..10).map(|i| i as f64).collect(),
-            ))],
+            vec![Column::Continuous(ContColumn::new("x", (0..10).map(|i| i as f64).collect()))],
         )
         .unwrap()
     }

@@ -147,8 +147,12 @@ impl Interval {
     pub fn from_op(op: Op, value: f64) -> Self {
         match op {
             Op::Eq => Self::point(value),
-            Op::Lt => Interval { lo: f64::NEG_INFINITY, hi: value, lo_strict: false, hi_strict: true },
-            Op::Le => Interval { lo: f64::NEG_INFINITY, hi: value, lo_strict: false, hi_strict: false },
+            Op::Lt => {
+                Interval { lo: f64::NEG_INFINITY, hi: value, lo_strict: false, hi_strict: true }
+            }
+            Op::Le => {
+                Interval { lo: f64::NEG_INFINITY, hi: value, lo_strict: false, hi_strict: false }
+            }
             Op::Gt => Interval { lo: value, hi: f64::INFINITY, lo_strict: true, hi_strict: false },
             Op::Ge => Interval { lo: value, hi: f64::INFINITY, lo_strict: false, hi_strict: false },
             Op::Ne => panic!("Ne is not an interval; handled via inclusion-exclusion"),
@@ -216,10 +220,55 @@ impl RangeQuery {
     /// True when a full row (projected to `f64`) satisfies every constraint.
     #[inline]
     pub fn matches_row(&self, row: &[f64]) -> bool {
-        self.cols
-            .iter()
-            .zip(row)
-            .all(|(c, v)| c.as_ref().map_or(true, |iv| iv.contains(*v)))
+        self.cols.iter().zip(row).all(|(c, v)| c.as_ref().is_none_or(|iv| iv.contains(*v)))
+    }
+
+    /// A canonical 64-bit fingerprint of the query: FNV-1a over the
+    /// constrained columns in index order, with endpoints normalised
+    /// (`-0.0` → `0.0`, full intervals treated as unconstrained). Two
+    /// queries that constrain the same columns to the same ranges hash
+    /// identically, independent of how they were constructed.
+    ///
+    /// The serving layer keys its result cache on this value, and
+    /// deterministic inference derives per-query sampling seeds from it,
+    /// so a query's estimate is a pure function of (model, query) — which
+    /// is exactly what makes cached and freshly computed results agree.
+    pub fn canonical_key(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x100_0000_01b3;
+        #[inline]
+        fn mix(h: u64, v: u64) -> u64 {
+            let mut h = h;
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+            h
+        }
+        #[inline]
+        fn norm_bits(v: f64) -> u64 {
+            // collapse -0.0 / +0.0; NaN endpoints are rejected upstream but
+            // canonicalise anyway so the hash is total
+            if v == 0.0 {
+                0.0f64.to_bits()
+            } else if v.is_nan() {
+                f64::NAN.to_bits()
+            } else {
+                v.to_bits()
+            }
+        }
+        let mut h = mix(OFFSET, self.cols.len() as u64);
+        for (col, iv) in self.cols.iter().enumerate() {
+            let Some(iv) = iv else { continue };
+            if iv.is_full() {
+                continue;
+            }
+            h = mix(h, col as u64);
+            h = mix(h, norm_bits(iv.lo));
+            h = mix(h, norm_bits(iv.hi));
+            h = mix(h, (iv.lo_strict as u64) << 1 | iv.hi_strict as u64);
+        }
+        h
     }
 }
 

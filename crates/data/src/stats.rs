@@ -151,11 +151,8 @@ pub fn symmetric_eigenvalues(mat: &[f64], n: usize) -> Vec<f64> {
 /// eigenvalues of the NCC matrix. 0 = fully independent, 1 = fully
 /// dependent.
 pub fn ncie_standard(table: &Table, bins: usize) -> f64 {
-    let cols: Vec<Vec<f64>> = table
-        .columns
-        .iter()
-        .map(|c| (0..c.len()).map(|r| c.value_as_f64(r)).collect())
-        .collect();
+    let cols: Vec<Vec<f64>> =
+        table.columns.iter().map(|c| (0..c.len()).map(|r| c.value_as_f64(r)).collect()).collect();
     let n = cols.len();
     if n < 2 {
         return 0.0;
@@ -215,7 +212,7 @@ mod tests {
     fn ncc_of_independent_series_is_low() {
         // deterministic pseudo-independent pair
         let x: Vec<f64> = (0..2000).map(|i| (i as f64 * 1.6180339887).fract()).collect();
-        let y: Vec<f64> = (0..2000).map(|i| (i as f64 * 2.7182818).fract()).collect();
+        let y: Vec<f64> = (0..2000).map(|i| (i as f64 * std::f64::consts::E).fract()).collect();
         assert!(ncc(&x, &y, 30) < 0.2);
     }
 
@@ -240,7 +237,7 @@ mod tests {
     fn ncie_orders_dependence() {
         let x: Vec<f64> = (0..2000).map(|i| (i as f64 * 1.618).fract()).collect();
         let y_dep: Vec<f64> = x.iter().map(|v| v * 2.0).collect();
-        let y_ind: Vec<f64> = (0..2000).map(|i| (i as f64 * 2.718).fract()).collect();
+        let y_ind: Vec<f64> = (0..2000).map(|i| (i as f64 * std::f64::consts::E).fract()).collect();
         let dep = Table::new(
             "dep",
             vec![

@@ -101,7 +101,11 @@ pub fn wisdm(nrows: usize, seed: u64) -> Table {
     Table::new(
         "wisdm",
         vec![
-            Column::Categorical(CatColumn::from_codes_dense("subject_id", subjects, SUBJECTS as u32)),
+            Column::Categorical(CatColumn::from_codes_dense(
+                "subject_id",
+                subjects,
+                SUBJECTS as u32,
+            )),
             Column::Categorical(CatColumn::from_codes_dense(
                 "activity_code",
                 activities,

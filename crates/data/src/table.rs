@@ -42,9 +42,7 @@ impl Table {
 
     /// Borrow a column, checking bounds.
     pub fn column(&self, col: usize) -> Result<&Column, DataError> {
-        self.columns
-            .get(col)
-            .ok_or(DataError::ColumnOutOfBounds { col, ncols: self.columns.len() })
+        self.columns.get(col).ok_or(DataError::ColumnOutOfBounds { col, ncols: self.columns.len() })
     }
 
     /// A new table keeping only the rows whose index appears in `rows`.

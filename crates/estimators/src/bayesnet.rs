@@ -127,8 +127,7 @@ impl ChowLiuNet {
             let mut joint = vec![0u32; na * nb];
             let mut ma = vec![0u32; na];
             let mut mb = vec![0u32; nb];
-            for r in 0..n {
-                let (x, y) = (binned[a][r], binned[b][r]);
+            for (&x, &y) in binned[a].iter().zip(&binned[b]).take(n) {
                 joint[x * nb + y] += 1;
                 ma[x] += 1;
                 mb[y] += 1;
@@ -180,8 +179,8 @@ impl ChowLiuNet {
         }
 
         let mut children = vec![Vec::new(); d];
-        for c in 0..d {
-            if let Some(p) = parent[c] {
+        for (c, p) in parent.iter().enumerate() {
+            if let Some(p) = *p {
                 children[p].push(c);
             }
         }
@@ -375,10 +374,7 @@ mod tests {
     fn single_column_table() {
         let t = Table::new(
             "one",
-            vec![Column::Continuous(ContColumn::new(
-                "x",
-                (0..1000).map(|i| i as f64).collect(),
-            ))],
+            vec![Column::Continuous(ContColumn::new("x", (0..1000).map(|i| i as f64).collect()))],
         )
         .unwrap();
         let mut net = ChowLiuNet::new(&t);

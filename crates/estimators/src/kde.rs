@@ -77,11 +77,8 @@ impl SelectivityEstimator for KdeEstimator {
                 let h = self.bandwidth[dim];
                 let upper =
                     if iv.hi == f64::INFINITY { 1.0 } else { std_normal_cdf((iv.hi - x) / h) };
-                let lower = if iv.lo == f64::NEG_INFINITY {
-                    0.0
-                } else {
-                    std_normal_cdf((iv.lo - x) / h)
-                };
+                let lower =
+                    if iv.lo == f64::NEG_INFINITY { 0.0 } else { std_normal_cdf((iv.lo - x) / h) };
                 prob *= (upper - lower).max(0.0);
                 if prob == 0.0 {
                     break;
@@ -137,11 +134,7 @@ mod tests {
         // the documented weakness: Gaussian kernels smear discrete values
         let n = 5000;
         let vals: Vec<f64> = (0..n).map(|i| (i % 2) as f64).collect();
-        let t = Table::new(
-            "d",
-            vec![Column::Continuous(ContColumn::new("a", vals))],
-        )
-        .unwrap();
+        let t = Table::new("d", vec![Column::Continuous(ContColumn::new("a", vals))]).unwrap();
         let mut kde = KdeEstimator::new(&t, 500, 2);
         let q = Query::new(vec![Predicate { col: 0, op: Op::Eq, value: 0.0 }]);
         let (rq, _) = q.normalize(1).unwrap();

@@ -38,11 +38,8 @@ impl Mhist {
         let ncols = table.ncols();
         assert!(n > 0 && buckets >= 1);
         // column-major value cache
-        let data: Vec<Vec<f64>> = table
-            .columns
-            .iter()
-            .map(|c| (0..n).map(|r| c.value_as_f64(r)).collect())
-            .collect();
+        let data: Vec<Vec<f64>> =
+            table.columns.iter().map(|c| (0..n).map(|r| c.value_as_f64(r)).collect()).collect();
 
         let bbox = |rows: &[usize]| -> (Vec<f64>, Vec<f64>) {
             let mut lo = vec![f64::INFINITY; ncols];
@@ -85,10 +82,8 @@ impl Mhist {
         }
         work.append(&mut done);
 
-        let leaves = work
-            .into_iter()
-            .map(|b| Leaf { count: b.rows.len(), lo: b.lo, hi: b.hi })
-            .collect();
+        let leaves =
+            work.into_iter().map(|b| Leaf { count: b.rows.len(), lo: b.lo, hi: b.hi }).collect();
         Mhist { leaves, nrows: n, ncols }
     }
 
@@ -101,9 +96,9 @@ impl Mhist {
     ) -> Option<(Vec<usize>, Vec<usize>)> {
         let mut best: Option<(f64, usize, f64)> = None; // (score, dim, threshold)
         let mut vals: Vec<f64> = Vec::with_capacity(bucket.rows.len());
-        for d in 0..ncols {
+        for (d, col) in data.iter().enumerate().take(ncols) {
             vals.clear();
-            vals.extend(bucket.rows.iter().map(|&r| data[d][r]));
+            vals.extend(bucket.rows.iter().map(|&r| col[r]));
             vals.sort_unstable_by(f64::total_cmp);
             // area difference between adjacent distinct values: gap width ×
             // run frequency (cap scan cost on long buckets)
@@ -117,7 +112,7 @@ impl Mhist {
                 if j < vals.len() {
                     let gap = vals[j] - v;
                     let score = gap * (j - i) as f64;
-                    if best.map_or(true, |(s, _, _)| score > s) {
+                    if best.is_none_or(|(s, _, _)| score > s) {
                         best = Some((score, d, (v + vals[j]) / 2.0));
                     }
                 }

@@ -220,7 +220,8 @@ mod tests {
     #[test]
     fn target_scaling_round_trips() {
         let t = table(1000);
-        let m = MscnLite::fit(&t, &workload(&t, 20, 3), MscnConfig { epochs: 1, ..Default::default() });
+        let m =
+            MscnLite::fit(&t, &workload(&t, 20, 3), MscnConfig { epochs: 1, ..Default::default() });
         for sel in [1.0, 0.1, 0.001, 1.0 / 1000.0] {
             let rt = m.sel_of(m.target_of(sel));
             assert!((rt.ln() - sel.ln()).abs() < 1e-6, "{sel} -> {rt}");
@@ -230,7 +231,8 @@ mod tests {
     #[test]
     fn feature_width_is_stable() {
         let t = table(500);
-        let m = MscnLite::fit(&t, &workload(&t, 10, 4), MscnConfig { epochs: 1, ..Default::default() });
+        let m =
+            MscnLite::fit(&t, &workload(&t, 10, 4), MscnConfig { epochs: 1, ..Default::default() });
         let mut f = Vec::new();
         m.featurize(&RangeQuery::unconstrained(2), &mut f);
         assert_eq!(f.len(), 3 * 2 + 1);

@@ -38,8 +38,7 @@ impl Postgres1d {
             .columns
             .iter()
             .map(|c| {
-                let mut values: Vec<f64> =
-                    (0..c.len()).map(|r| c.value_as_f64(r)).collect();
+                let mut values: Vec<f64> = (0..c.len()).map(|r| c.value_as_f64(r)).collect();
                 values.sort_unstable_by(f64::total_cmp);
                 Self::column_stats(&values, n, matches!(c, Column::Categorical(_)))
             })
@@ -62,7 +61,7 @@ impl Postgres1d {
         }
         // MCVs: values appearing more than once, most frequent first
         let mut by_freq = freqs.clone();
-        by_freq.sort_by(|a, b| b.1.cmp(&a.1));
+        by_freq.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
         let mcv: Vec<(f64, f64)> = by_freq
             .iter()
             .take(STATS_TARGET)
@@ -72,11 +71,7 @@ impl Postgres1d {
         let mcv_set: Vec<f64> = mcv.iter().map(|&(v, _)| v).collect();
 
         // histogram over the remaining values
-        let rest: Vec<f64> = sorted
-            .iter()
-            .copied()
-            .filter(|v| !mcv_set.contains(v))
-            .collect();
+        let rest: Vec<f64> = sorted.iter().copied().filter(|v| !mcv_set.contains(v)).collect();
         let hist_frac = rest.len() as f64 / n as f64;
         let rest_distinct = freqs.len().saturating_sub(mcv.len()).max(1);
         let mut hist_bounds = Vec::new();
@@ -92,8 +87,7 @@ impl Postgres1d {
     /// Selectivity of `iv` on one column.
     fn column_selectivity(stats: &ColumnStats, iv: &Interval) -> f64 {
         // MCV mass inside the interval
-        let mcv_mass: f64 =
-            stats.mcv.iter().filter(|(v, _)| iv.contains(*v)).map(|(_, f)| f).sum();
+        let mcv_mass: f64 = stats.mcv.iter().filter(|(v, _)| iv.contains(*v)).map(|(_, f)| f).sum();
         // histogram mass with linear interpolation inside buckets
         let hist_mass = if stats.hist_bounds.len() >= 2 {
             let nb = stats.hist_bounds.len() - 1;
@@ -110,11 +104,7 @@ impl Postgres1d {
                     continue;
                 }
                 let width = bhi - blo;
-                let frac = if width > 0.0 {
-                    ((hi - lo) / width).clamp(0.0, 1.0)
-                } else {
-                    1.0
-                };
+                let frac = if width > 0.0 { ((hi - lo) / width).clamp(0.0, 1.0) } else { 1.0 };
                 mass += per_bucket * frac;
             }
             mass
@@ -154,10 +144,7 @@ impl SelectivityEstimator for Postgres1d {
     }
 
     fn model_size_bytes(&self) -> usize {
-        self.cols
-            .iter()
-            .map(|c| (c.mcv.len() * 2 + c.hist_bounds.len() + 2) * 8)
-            .sum()
+        self.cols.iter().map(|c| (c.mcv.len() * 2 + c.hist_bounds.len() + 2) * 8).sum()
     }
 }
 
@@ -173,10 +160,7 @@ mod tests {
         Table::new(
             "t",
             vec![
-                Column::Continuous(ContColumn::new(
-                    "u",
-                    (0..n).map(|i| i as f64).collect(),
-                )),
+                Column::Continuous(ContColumn::new("u", (0..n).map(|i| i as f64).collect())),
                 Column::Categorical(CatColumn::from_codes_dense(
                     "c",
                     (0..n).map(|i| (i % 10) as u32).collect(),

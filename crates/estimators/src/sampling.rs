@@ -91,10 +91,7 @@ mod tests {
             "t",
             vec![
                 Column::Continuous(ContColumn::new("a", (0..n).map(|i| i as f64).collect())),
-                Column::Continuous(ContColumn::new(
-                    "b",
-                    (0..n).map(|i| (i % 97) as f64).collect(),
-                )),
+                Column::Continuous(ContColumn::new("b", (0..n).map(|i| (i % 97) as f64).collect())),
             ],
         )
         .unwrap()

@@ -66,11 +66,8 @@ impl SpnEstimator {
         let n = table.nrows();
         let ncols = table.ncols();
         assert!(n > 0 && ncols >= 1);
-        let data: Vec<Vec<f64>> = table
-            .columns
-            .iter()
-            .map(|c| (0..n).map(|r| c.value_as_f64(r)).collect())
-            .collect();
+        let data: Vec<Vec<f64>> =
+            table.columns.iter().map(|c| (0..n).map(|r| c.value_as_f64(r)).collect()).collect();
         let cat_domain: Vec<Option<usize>> = table
             .columns
             .iter()
@@ -162,8 +159,7 @@ impl SpnEstimator {
             .iter()
             .map(|&c| {
                 let mean = rows.iter().map(|&r| data[c][r]).sum::<f64>() / nf;
-                let var =
-                    rows.iter().map(|&r| (data[c][r] - mean).powi(2)).sum::<f64>() / nf;
+                let var = rows.iter().map(|&r| (data[c][r] - mean).powi(2)).sum::<f64>() / nf;
                 (mean, var.sqrt().max(1e-12))
             })
             .collect();
@@ -192,9 +188,9 @@ impl SpnEstimator {
             }
         }
         let mut groups: Vec<Vec<usize>> = vec![Vec::new(); k];
-        for i in 0..k {
+        for (i, &c) in cols.iter().enumerate().take(k) {
             let r = find(&mut parent, i);
-            groups[r].push(cols[i]);
+            groups[r].push(c);
         }
         groups.retain(|g| !g.is_empty());
         groups
@@ -212,8 +208,7 @@ impl SpnEstimator {
             .iter()
             .map(|&c| {
                 let mean = rows.iter().map(|&r| data[c][r]).sum::<f64>() / nf;
-                let var =
-                    rows.iter().map(|&r| (data[c][r] - mean).powi(2)).sum::<f64>() / nf;
+                let var = rows.iter().map(|&r| (data[c][r] - mean).powi(2)).sum::<f64>() / nf;
                 (mean, var.sqrt().max(1e-12))
             })
             .collect();
@@ -315,14 +310,10 @@ impl SpnEstimator {
 
     fn eval(node: &Node, q: &RangeQuery) -> f64 {
         match node {
-            Node::Sum { weights, children } => weights
-                .iter()
-                .zip(children)
-                .map(|(&w, c)| w * Self::eval(c, q))
-                .sum(),
-            Node::Product { children } => {
-                children.iter().map(|c| Self::eval(c, q)).product()
+            Node::Sum { weights, children } => {
+                weights.iter().zip(children).map(|(&w, c)| w * Self::eval(c, q)).sum()
             }
+            Node::Product { children } => children.iter().map(|c| Self::eval(c, q)).product(),
             Node::Leaf { col, edges, mass, exact } => match &q.cols[*col] {
                 None => 1.0,
                 Some(iv) => Self::leaf_mass(edges, mass, *exact, iv),

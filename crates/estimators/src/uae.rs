@@ -66,9 +66,7 @@ fn query_tuples(
                 table.row_as_f64(rng.random_range(0..n), &mut row);
             } else {
                 row.clear();
-                row.extend(bounds.iter().map(|&(lo, hi)| {
-                    lo + rng.random::<f64>() * (hi - lo)
-                }));
+                row.extend(bounds.iter().map(|&(lo, hi)| lo + rng.random::<f64>() * (hi - lo)));
             }
             for (d, iv) in q.cols.iter().enumerate() {
                 if let Some(iv) = iv {
@@ -132,11 +130,7 @@ fn concat_tables(base: &Table, extra: &Table) -> Table {
 }
 
 /// Train UAE-lite: AR model over data + query-derived tuples.
-pub fn uae_lite(
-    table: &Table,
-    training: &[(RangeQuery, f64)],
-    base: IamConfig,
-) -> IamEstimator {
+pub fn uae_lite(table: &Table, training: &[(RangeQuery, f64)], base: IamConfig) -> IamEstimator {
     let extra = query_tuples(table, training, table.nrows() / 4, true, base.seed ^ 0xAE);
     let augmented = concat_tables(table, &extra);
     let cfg = neurocard_lite(base);
@@ -146,18 +140,9 @@ pub fn uae_lite(
 }
 
 /// Train UAE-Q-lite: AR model over query-derived tuples only.
-pub fn uae_q_lite(
-    table: &Table,
-    training: &[(RangeQuery, f64)],
-    base: IamConfig,
-) -> IamEstimator {
-    let synth = query_tuples(
-        table,
-        training,
-        table.nrows().clamp(1000, 50_000),
-        false,
-        base.seed ^ 0xAE0,
-    );
+pub fn uae_q_lite(table: &Table, training: &[(RangeQuery, f64)], base: IamConfig) -> IamEstimator {
+    let synth =
+        query_tuples(table, training, table.nrows().clamp(1000, 50_000), false, base.seed ^ 0xAE0);
     let cfg = neurocard_lite(base);
     let mut est = IamEstimator::build_named(&synth, cfg, Some("UAE-Q"));
     est.train_epochs(&synth, est.cfg.epochs);
@@ -214,7 +199,7 @@ mod tests {
         let w = workload(&t, 30, 2);
         let synth = query_tuples(&t, &w, 2000, false, 3);
         assert!(synth.nrows() >= 30); // at least one tuple per query
-        // every tuple lies inside the data bounding box
+                                      // every tuple lies inside the data bounding box
         let Column::Continuous(a) = &synth.columns[0] else { unreachable!() };
         assert!(a.values.iter().all(|&v| (0.0..=100.0).contains(&v)));
     }

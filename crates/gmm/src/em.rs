@@ -32,8 +32,7 @@ pub fn fit_em(values: &[f64], k: usize, max_iter: usize, tol: f64) -> EmFit {
     let mut sorted = values.to_vec();
     sorted.sort_unstable_by(f64::total_cmp);
     let spread = (sorted[n - 1] - sorted[0]).max(1e-6);
-    let mut means: Vec<f64> =
-        (0..k).map(|i| sorted[((i * 2 + 1) * (n - 1)) / (2 * k)]).collect();
+    let mut means: Vec<f64> = (0..k).map(|i| sorted[((i * 2 + 1) * (n - 1)) / (2 * k)]).collect();
     let mut stds = vec![spread / (2.0 * k as f64); k];
     let mut weights = vec![1.0 / k as f64; k];
 
@@ -72,11 +71,7 @@ pub fn fit_em(values: &[f64], k: usize, max_iter: usize, tol: f64) -> EmFit {
         prev_ll = ll;
     }
 
-    EmFit {
-        gmm: Gmm1d::new(weights, means, stds),
-        avg_log_likelihood: prev_ll,
-        iterations,
-    }
+    EmFit { gmm: Gmm1d::new(weights, means, stds), avg_log_likelihood: prev_ll, iterations }
 }
 
 #[cfg(test)]

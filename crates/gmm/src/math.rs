@@ -81,13 +81,8 @@ mod tests {
     #[test]
     fn erf_reference_values() {
         // reference values from tables
-        let cases = [
-            (0.0, 0.0),
-            (0.5, 0.5204999),
-            (1.0, 0.8427008),
-            (2.0, 0.9953223),
-            (-1.0, -0.8427008),
-        ];
+        let cases =
+            [(0.0, 0.0), (0.5, 0.5204999), (1.0, 0.8427008), (2.0, 0.9953223), (-1.0, -0.8427008)];
         for (x, want) in cases {
             assert!((erf(x) - want).abs() < 2e-6, "erf({x}) = {} want {want}", erf(x));
         }

@@ -39,9 +39,7 @@ impl Gmm1d {
 
     /// Mixture density at `x`.
     pub fn pdf(&self, x: f64) -> f64 {
-        (0..self.k())
-            .map(|k| self.weights[k] * normal_pdf(x, self.means[k], self.stds[k]))
-            .sum()
+        (0..self.k()).map(|k| self.weights[k] * normal_pdf(x, self.means[k], self.stds[k])).sum()
     }
 
     /// Log mixture density at `x` (log-sum-exp stable).
@@ -168,8 +166,9 @@ impl Gmm1d {
                     if (mu[i] - mu[j]).abs() <= threshold * (si + sj) {
                         let wt = w[i] + w[j];
                         let m = (w[i] * mu[i] + w[j] * mu[j]) / wt;
-                        let second =
-                            (w[i] * (var[i] + mu[i] * mu[i]) + w[j] * (var[j] + mu[j] * mu[j])) / wt;
+                        let second = (w[i] * (var[i] + mu[i] * mu[i])
+                            + w[j] * (var[j] + mu[j] * mu[j]))
+                            / wt;
                         w[i] = wt;
                         mu[i] = m;
                         var[i] = (second - m * m).max(1e-18);

@@ -175,11 +175,11 @@ mod tests {
         let d = data(&truth, 8000, 1);
         let init = Gmm1d::new(vec![0.5, 0.5], vec![-1.0, 1.0], vec![3.0, 3.0]);
         let nll_init = init.nll(&d);
-        let mut trainer = GmmSgdTrainer::from_init(&init, SgdConfig { lr: 2e-2, ..Default::default() });
+        let mut trainer =
+            GmmSgdTrainer::from_init(&init, SgdConfig { lr: 2e-2, ..Default::default() });
         let mut rng = StdRng::seed_from_u64(2);
         for _ in 0..1500 {
-            let batch: Vec<f64> =
-                (0..256).map(|_| d[rng.random_range(0..d.len())]).collect();
+            let batch: Vec<f64> = (0..256).map(|_| d[rng.random_range(0..d.len())]).collect();
             trainer.step(&batch);
         }
         let fitted = trainer.snapshot();
@@ -227,10 +227,7 @@ mod tests {
         };
         for (i, want) in analytic.iter().enumerate().take(6) {
             let fd = (nll_perturbed(i, h) - nll_perturbed(i, -h)) / (2.0 * h);
-            assert!(
-                (fd - want).abs() < 1e-4,
-                "param {i}: finite-diff {fd} vs analytic {want}"
-            );
+            assert!((fd - want).abs() < 1e-4, "param {i}: finite-diff {fd} vs analytic {want}");
         }
     }
 

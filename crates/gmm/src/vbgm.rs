@@ -19,8 +19,7 @@ pub fn digamma(mut x: f64) -> f64 {
     }
     let inv = 1.0 / x;
     let inv2 = inv * inv;
-    result + x.ln() - 0.5 * inv
-        - inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 / 252.0))
+    result + x.ln() - 0.5 * inv - inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 / 252.0))
 }
 
 /// Configuration for [`fit_vbgm`].
@@ -198,18 +197,10 @@ mod tests {
         let data: Vec<f64> = (0..6000).map(|_| truth.sample(&mut rng)).collect();
         let cfg = VbgmConfig { max_components: 15, prune_weight: 0.02, ..Default::default() };
         let fit = fit_vbgm(&data, &cfg);
-        assert!(
-            (3..=6).contains(&fit.k()),
-            "expected ~3 surviving components, got {}",
-            fit.k()
-        );
+        assert!((3..=6).contains(&fit.k()), "expected ~3 surviving components, got {}", fit.k());
         // the three true means are each near some fitted mean
         for want in [-10.0, 0.0, 10.0] {
-            let best = fit
-                .means
-                .iter()
-                .map(|m| (m - want).abs())
-                .fold(f64::INFINITY, f64::min);
+            let best = fit.means.iter().map(|m| (m - want).abs()).fold(f64::INFINITY, f64::min);
             assert!(best < 0.5, "no component near {want} (closest off by {best})");
         }
     }

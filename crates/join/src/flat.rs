@@ -95,9 +95,7 @@ pub fn flatten_foj(star: &StarSchema, n: usize, seed: u64) -> (Table, FlatSchema
                     let null_code = cc.dict.len() as u32;
                     let codes = samples
                         .iter()
-                        .map(|(_, picks)| {
-                            picks[t].map_or(null_code, |r| cc.codes[r as usize])
-                        })
+                        .map(|(_, picks)| picks[t].map_or(null_code, |r| cc.codes[r as usize]))
                         .collect();
                     let mut dict = cc.dict.clone();
                     dict.push("~null".into());
@@ -124,8 +122,7 @@ pub fn flatten_foj(star: &StarSchema, n: usize, seed: u64) -> (Table, FlatSchema
 
     let ncols = columns.len();
     let table = Table::new("imdb_foj", columns).expect("sampled columns aligned");
-    let schema =
-        FlatSchema { hub_cols, dim_offsets, bounds, ncols, foj_size: star.foj_size() };
+    let schema = FlatSchema { hub_cols, dim_offsets, bounds, ncols, foj_size: star.foj_size() };
     (table, schema)
 }
 

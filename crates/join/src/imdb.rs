@@ -108,7 +108,7 @@ pub fn synthetic_imdb(cfg: &ImdbConfig) -> StarSchema {
             let cid = (sample_cdf(&mut rng, &company_cdf) + shift) % 500;
             mc_cid.push(cid as u32);
             mc_ct.push(rng.random_range(0..4u32));
-            mc_note.push((kind[m] + rng.random_range(0..4)) % 10);
+            mc_note.push((kind[m] + rng.random_range(0..4u32)) % 10);
         }
     }
     let movie_companies = Table::new(
@@ -137,10 +137,10 @@ pub fn synthetic_imdb(cfg: &ImdbConfig) -> StarSchema {
     let mut mi_fk = Vec::new();
     let (mut mi_it, mut mi_x, mut mi_y, mut mi_z) =
         (Vec::new(), Vec::new(), Vec::new(), Vec::new());
-    for m in 0..n {
+    for (m, &k) in kind.iter().enumerate().take(n) {
         for _ in 0..fanout(&mut rng, 0.1, 3.0) {
             mi_fk.push(m as u32);
-            let it = ((kind[m] as usize * 11) + rng.random_range(0..30usize)) % 71;
+            let it = ((k as usize * 11) + rng.random_range(0..30usize)) % 71;
             mi_it.push(it as u32);
             let (mean, s) = &sigs[it];
             let shared = normal(&mut rng);
@@ -163,10 +163,10 @@ pub fn synthetic_imdb(cfg: &ImdbConfig) -> StarSchema {
     // --- movie_info_idx(info_type_id 5)
     let mut mii_fk = Vec::new();
     let mut mii_it = Vec::new();
-    for m in 0..n {
+    for (m, &k) in kind.iter().enumerate().take(n) {
         for _ in 0..fanout(&mut rng, 0.3, 1.5) {
             mii_fk.push(m as u32);
-            mii_it.push(((kind[m] + rng.random_range(0..2)) % 5) as u32);
+            mii_it.push((k + rng.random_range(0..2u32)) % 5);
         }
     }
     let movie_info_idx = Table::new(
@@ -179,10 +179,10 @@ pub fn synthetic_imdb(cfg: &ImdbConfig) -> StarSchema {
     let keyword_cdf = cumsum(&zipf_weights(1000, 1.0));
     let mut mk_fk = Vec::new();
     let mut mk_kid = Vec::new();
-    for m in 0..n {
+    for (m, &k) in kind.iter().enumerate().take(n) {
         for _ in 0..fanout(&mut rng, 0.25, 2.5) {
             mk_fk.push(m as u32);
-            let kid = (sample_cdf(&mut rng, &keyword_cdf) + kind[m] as usize * 101) % 1000;
+            let kid = (sample_cdf(&mut rng, &keyword_cdf) + k as usize * 101) % 1000;
             mk_kid.push(kid as u32);
         }
     }

@@ -159,11 +159,9 @@ mod tests {
             vec![Column::Categorical(CatColumn::from_codes_dense("kind", vec![0, 1, 0], 2))],
         )
         .unwrap();
-        let d0 = Table::new(
-            "d0",
-            vec![Column::Continuous(ContColumn::new("x", vec![1.0, 2.0, 3.0]))],
-        )
-        .unwrap();
+        let d0 =
+            Table::new("d0", vec![Column::Continuous(ContColumn::new("x", vec![1.0, 2.0, 3.0]))])
+                .unwrap();
         let d1 = Table::new(
             "d1",
             vec![Column::Continuous(ContColumn::new("y", vec![10.0, 20.0, 30.0, 40.0]))],
@@ -189,11 +187,7 @@ mod tests {
     fn exact_card_inner_join() {
         let s = tiny();
         // join hub ⋈ d0 ⋈ d1, no predicates: only movie 1 has rows in both
-        let card = s.exact_card(
-            &[true, true],
-            &vec![None; 1],
-            &[vec![None; 1], vec![None; 1]],
-        );
+        let card = s.exact_card(&[true, true], &vec![None; 1], &[vec![None; 1], vec![None; 1]]);
         assert_eq!(card, 1.0);
         // hub ⋈ d1 only: movies 1 (1 row) and 2 (3 rows)
         let card = s.exact_card(&[false, true], &vec![None; 1], &[vec![None; 1], vec![None; 1]]);

@@ -27,11 +27,7 @@ impl JoinQuery {
     /// Number of predicates across all tables.
     pub fn num_predicates(&self) -> usize {
         self.hub.iter().filter(|p| p.is_some()).count()
-            + self
-                .dims
-                .iter()
-                .map(|d| d.iter().filter(|p| p.is_some()).count())
-                .sum::<usize>()
+            + self.dims.iter().map(|d| d.iter().filter(|p| p.is_some()).count()).sum::<usize>()
     }
 }
 
@@ -117,9 +113,7 @@ impl<'s> JoinWorkloadGenerator<'s> {
                     }
                 }
             }
-            let k = self
-                .rng
-                .random_range(min_preds.min(sites.len())..=max_preds.min(sites.len()));
+            let k = self.rng.random_range(min_preds.min(sites.len())..=max_preds.min(sites.len()));
             for i in 0..k {
                 let j = self.rng.random_range(i..sites.len());
                 sites.swap(i, j);
@@ -227,10 +221,8 @@ mod tests {
         let star = synthetic_imdb(&ImdbConfig { movies: 500, seed: 3 });
         let mut gen = JoinWorkloadGenerator::new(&star, 4);
         let queries = gen.gen_queries(40);
-        let nonempty = queries
-            .iter()
-            .filter(|q| star.exact_card(&q.join_dims, &q.hub, &q.dims) > 0.0)
-            .count();
+        let nonempty =
+            queries.iter().filter(|q| star.exact_card(&q.join_dims, &q.hub, &q.dims) > 0.0).count();
         assert!(nonempty >= 30, "{nonempty}/40 nonempty");
     }
 

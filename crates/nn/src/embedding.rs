@@ -32,13 +32,7 @@ impl Embedding {
     /// Gather rows for a batch of ids into `out[offset + b*stride ..]`,
     /// caching ids for backward. `stride` is the full input row width of the
     /// downstream layer so multiple embeddings can write into one buffer.
-    pub fn forward_into(
-        &mut self,
-        ids: &[usize],
-        out: &mut [f32],
-        offset: usize,
-        stride: usize,
-    ) {
+    pub fn forward_into(&mut self, ids: &[usize], out: &mut [f32], offset: usize, stride: usize) {
         self.last_ids.clear();
         self.last_ids.extend_from_slice(ids);
         self.gather(ids, out, offset, stride);

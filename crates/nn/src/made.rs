@@ -51,6 +51,28 @@ impl Default for MadeConfig {
     }
 }
 
+/// Reusable activation buffers for the immutable inference path
+/// ([`MadeNet::forward_column_into`]). One scratch per thread lets many
+/// threads run forward passes over one shared `&MadeNet` concurrently.
+#[derive(Debug, Clone, Default)]
+pub struct InferScratch {
+    bufs: Vec<Vec<f32>>,
+    ids: Vec<usize>,
+}
+
+impl InferScratch {
+    /// Fresh, empty scratch; buffers grow on first use and are reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure_layers(&mut self, nlayers: usize) {
+        if self.bufs.len() < nlayers {
+            self.bufs.resize(nlayers, Vec::new());
+        }
+    }
+}
+
 /// The masked autoregressive network with manual backprop.
 #[derive(Clone)]
 pub struct MadeNet {
@@ -66,6 +88,8 @@ pub struct MadeNet {
     // training scratch buffers
     bufs: Vec<Vec<f32>>,
     grads: Vec<Vec<f32>>,
+    // scratch for the &mut convenience wrapper around the immutable path
+    infer_scratch: InferScratch,
 }
 
 impl MadeNet {
@@ -97,7 +121,7 @@ impl MadeNet {
         for k in 0..h0 {
             let dk = if n == 1 { 0 } else { degree(k) };
             for j in 0..n {
-                if j + 1 <= dk {
+                if j < dk {
                     for t in 0..e {
                         mask[k * in_dim + j * e + t] = 1.0;
                     }
@@ -156,6 +180,7 @@ impl MadeNet {
             total_logits,
             bufs: vec![Vec::new(); nlayers + 1],
             grads: vec![Vec::new(); nlayers + 1],
+            infer_scratch: InferScratch::new(),
         }
     }
 
@@ -250,11 +275,45 @@ impl MadeNet {
         col: usize,
         out: &mut Vec<f32>,
     ) {
+        let mut scratch = std::mem::take(&mut self.infer_scratch);
+        self.forward_column_into(&mut scratch, inputs, batch, col, out);
+        self.infer_scratch = scratch;
+    }
+
+    /// Immutable variant of [`Self::forward_column`]: all activations live
+    /// in the caller-provided `scratch`, so a single `&MadeNet` can serve
+    /// concurrent forward passes from many threads (each with its own
+    /// scratch). This is the kernel behind parallel batched inference and
+    /// the serving layer.
+    pub fn forward_column_into(
+        &self,
+        scratch: &mut InferScratch,
+        inputs: &[usize],
+        batch: usize,
+        col: usize,
+        out: &mut Vec<f32>,
+    ) {
         assert_eq!(inputs.len(), batch * self.ncols());
-        self.embed(inputs, batch, false);
         let nlayers = self.layers.len();
+        scratch.ensure_layers(nlayers);
+        let InferScratch { bufs, ids } = scratch;
+
+        // embed into bufs[0]
+        let n = self.ncols();
+        let e = self.cfg.embed_dim;
+        let stride = n * e;
+        {
+            let buf = &mut bufs[0];
+            buf.resize(batch * stride, 0.0);
+            for (c, emb) in self.embeddings.iter().enumerate() {
+                ids.clear();
+                ids.extend((0..batch).map(|b| inputs[b * n + c]));
+                emb.gather(ids, buf, c * e, stride);
+            }
+        }
+
         for l in 0..nlayers - 1 {
-            let (head, tail) = self.bufs.split_at_mut(l + 1);
+            let (head, tail) = bufs.split_at_mut(l + 1);
             let x = &head[l];
             let y = &mut tail[0];
             self.layers[l].forward_no_cache(x, batch, y);
@@ -265,7 +324,7 @@ impl MadeNet {
                 }
             }
         }
-        let hlast = &self.bufs[nlayers - 1];
+        let hlast = &bufs[nlayers - 1];
         self.layers[nlayers - 1].forward_rows_no_cache(hlast, batch, self.logit_range(col), out);
     }
 
@@ -536,8 +595,7 @@ mod tests {
             net.forward_column(&inputs, 2, col, &mut partial);
             let width = net.domain_size(col);
             for b in 0..2 {
-                let want = &full
-                    [b * net.total_logits() + net.logit_range(col).start..][..width];
+                let want = &full[b * net.total_logits() + net.logit_range(col).start..][..width];
                 let got = &partial[b * width..(b + 1) * width];
                 assert_eq!(want, got, "col {col} batch {b}");
             }
@@ -548,6 +606,41 @@ mod tests {
             net.row_softmax(&partial, 1, width, &mut p2);
             assert_eq!(p1, p2);
         }
+    }
+
+    #[test]
+    fn immutable_forward_column_matches_mut_path() {
+        let mut net = tiny_net(vec![4, 3, 5], 12);
+        let inputs = [1usize, 2, 0, 3, 1, 4];
+        for col in 0..3 {
+            let mut via_mut = Vec::new();
+            net.forward_column(&inputs, 2, col, &mut via_mut);
+            let mut scratch = InferScratch::new();
+            let mut via_ref = Vec::new();
+            net.forward_column_into(&mut scratch, &inputs, 2, col, &mut via_ref);
+            assert_eq!(via_mut, via_ref, "col {col}");
+        }
+    }
+
+    #[test]
+    fn shared_net_forwards_concurrently() {
+        let net = tiny_net(vec![4, 3, 5], 13);
+        let inputs = [1usize, 2, 0, 3, 1, 4];
+        let mut want = Vec::new();
+        net.forward_column_into(&mut InferScratch::new(), &inputs, 2, 2, &mut want);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let (net, want, inputs) = (&net, &want, &inputs);
+                s.spawn(move || {
+                    let mut scratch = InferScratch::new();
+                    let mut out = Vec::new();
+                    for _ in 0..50 {
+                        net.forward_column_into(&mut scratch, inputs, 2, 2, &mut out);
+                        assert_eq!(&out, want);
+                    }
+                });
+            }
+        });
     }
 
     #[test]

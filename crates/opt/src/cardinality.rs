@@ -99,11 +99,7 @@ impl IndependenceCardEstimator {
         IndependenceCardEstimator { tables, sizes, hub_rows: star.hub.nrows() as f64 }
     }
 
-    fn table_card(
-        &mut self,
-        idx: usize,
-        ranges: &[Option<iam_data::Interval>],
-    ) -> f64 {
+    fn table_card(&mut self, idx: usize, ranges: &[Option<iam_data::Interval>]) -> f64 {
         let rq = iam_data::RangeQuery { cols: ranges.to_vec() };
         self.tables[idx].estimate(&rq) * self.sizes[idx]
     }

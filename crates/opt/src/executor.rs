@@ -36,7 +36,7 @@ pub fn execute(star: &StarSchema, q: &JoinQuery, plan: &Plan) -> ExecReport {
         let mult: Vec<u32> = match step {
             TableRef::Hub => {
                 let mut m = vec![0u32; nmovies];
-                'rows: for r in 0..nmovies {
+                'rows: for (r, slot) in m.iter_mut().enumerate() {
                     for (ci, iv) in q.hub.iter().enumerate() {
                         if let Some(iv) = iv {
                             if !iv.contains(star.hub.columns[ci].value_as_f64(r)) {
@@ -44,7 +44,7 @@ pub fn execute(star: &StarSchema, q: &JoinQuery, plan: &Plan) -> ExecReport {
                             }
                         }
                     }
-                    m[r] = 1;
+                    *slot = 1;
                 }
                 m
             }

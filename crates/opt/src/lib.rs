@@ -16,6 +16,8 @@ pub mod cardinality;
 pub mod executor;
 pub mod optimizer;
 
-pub use cardinality::{ExactCardEstimator, FlatCardEstimator, IndependenceCardEstimator, JoinCardEstimator};
+pub use cardinality::{
+    ExactCardEstimator, FlatCardEstimator, IndependenceCardEstimator, JoinCardEstimator,
+};
 pub use executor::{execute, ExecReport};
 pub use optimizer::{optimize, Plan, TableRef};

@@ -103,10 +103,12 @@ mod tests {
     use iam_data::Interval;
     use iam_join::star::LocalRanges;
 
+    /// `f(include_hub, dims)` → cardinality.
+    type ScriptFn = Box<dyn FnMut(bool, &[bool]) -> f64>;
+
     /// A scripted estimator for deterministic plan tests.
     struct Scripted {
-        /// `f(include_hub, dims)` → cardinality.
-        f: Box<dyn FnMut(bool, &[bool]) -> f64>,
+        f: ScriptFn,
     }
 
     impl JoinCardEstimator for Scripted {

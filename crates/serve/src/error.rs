@@ -1,0 +1,38 @@
+//! Error type for the serving layer.
+
+use std::fmt;
+
+/// Everything that can go wrong between a client request and its reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded request queue is full; the caller should back off and
+    /// retry. Returned immediately — submission never blocks.
+    Overloaded,
+    /// The request was accepted but no reply arrived within the per-request
+    /// timeout (or the batch worker found the deadline already expired).
+    Timeout,
+    /// The service is draining and no longer accepts new requests.
+    ShuttingDown,
+    /// The query is malformed (wrong arity, unparsable term, …).
+    BadQuery(String),
+    /// A model snapshot failed to load; the previously active version is
+    /// still serving.
+    Load(String),
+    /// A rollback was requested but no earlier version exists.
+    NoPreviousVersion,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded => write!(f, "request queue full"),
+            ServeError::Timeout => write!(f, "request timed out"),
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::BadQuery(m) => write!(f, "bad query: {m}"),
+            ServeError::Load(m) => write!(f, "model load failed: {m}"),
+            ServeError::NoPreviousVersion => write!(f, "no previous model version"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

@@ -1,0 +1,362 @@
+//! Lock-free service metrics: atomic counters, a queue-depth gauge, and
+//! fixed-bucket histograms for end-to-end latency and batch sizes.
+//!
+//! Everything is written with relaxed atomics on the hot path; a
+//! [`Metrics::snapshot`] reads a consistent-enough view for reporting
+//! (counters may be mid-update, which is fine for monitoring).
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
+use std::time::Duration;
+
+/// Upper bucket bounds for request latency, in microseconds. The last
+/// bucket is a catch-all.
+const LATENCY_BOUNDS_US: [u64; 15] = [
+    50,
+    100,
+    200,
+    500,
+    1_000,
+    2_000,
+    5_000,
+    10_000,
+    20_000,
+    50_000,
+    100_000,
+    200_000,
+    500_000,
+    1_000_000,
+    u64::MAX,
+];
+
+/// Upper bucket bounds for coalesced batch sizes (requests per inference
+/// call). The last bucket is a catch-all.
+const BATCH_BOUNDS: [u64; 9] = [1, 2, 4, 8, 16, 32, 64, 128, u64::MAX];
+
+/// A fixed-bucket histogram of `u64` observations.
+struct Histogram<const N: usize> {
+    bounds: [u64; N],
+    counts: [AtomicU64; N],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl<const N: usize> Histogram<N> {
+    fn new(bounds: [u64; N]) -> Self {
+        Histogram {
+            bounds,
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, v: u64) {
+        let idx = self.bounds.iter().position(|&b| v <= b).unwrap_or(N - 1);
+        self.counts[idx].fetch_add(1, Relaxed);
+        self.sum.fetch_add(v, Relaxed);
+        self.max.fetch_max(v, Relaxed);
+    }
+
+    fn load(&self) -> ([u64; N], u64, u64) {
+        (
+            std::array::from_fn(|i| self.counts[i].load(Relaxed)),
+            self.sum.load(Relaxed),
+            self.max.load(Relaxed),
+        )
+    }
+}
+
+/// Estimate the `q`-quantile (0..=1) from bucket counts: returns the upper
+/// bound of the first bucket whose cumulative count reaches the rank.
+fn percentile<const N: usize>(bounds: &[u64; N], counts: &[u64; N], q: f64) -> u64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut cum = 0;
+    for i in 0..N {
+        cum += counts[i];
+        if cum >= rank {
+            return bounds[i];
+        }
+    }
+    bounds[N - 1]
+}
+
+/// Shared, thread-safe service metrics. All mutators take `&self`.
+pub struct Metrics {
+    requests: AtomicU64,
+    overloaded: AtomicU64,
+    timeouts: AtomicU64,
+    bad_queries: AtomicU64,
+    batches: AtomicU64,
+    batched_queries: AtomicU64,
+    model_swaps: AtomicU64,
+    queue_depth: AtomicI64,
+    latency_us: Histogram<15>,
+    batch_size: Histogram<9>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Metrics {
+            requests: AtomicU64::new(0),
+            overloaded: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            bad_queries: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_queries: AtomicU64::new(0),
+            model_swaps: AtomicU64::new(0),
+            queue_depth: AtomicI64::new(0),
+            latency_us: Histogram::new(LATENCY_BOUNDS_US),
+            batch_size: Histogram::new(BATCH_BOUNDS),
+        }
+    }
+
+    /// Count a client request (before any queue/cache interaction).
+    pub fn request(&self) {
+        self.requests.fetch_add(1, Relaxed);
+    }
+
+    /// Count a rejected submission (queue full).
+    pub fn overloaded(&self) {
+        self.overloaded.fetch_add(1, Relaxed);
+    }
+
+    /// Count a request that expired before a reply.
+    pub fn timeout(&self) {
+        self.timeouts.fetch_add(1, Relaxed);
+    }
+
+    /// Count a malformed query.
+    pub fn bad_query(&self) {
+        self.bad_queries.fetch_add(1, Relaxed);
+    }
+
+    /// Count a model hot-swap (or rollback).
+    pub fn model_swap(&self) {
+        self.model_swaps.fetch_add(1, Relaxed);
+    }
+
+    /// A request entered the queue.
+    pub fn enqueued(&self) {
+        self.queue_depth.fetch_add(1, Relaxed);
+    }
+
+    /// `n` requests left the queue (coalesced into one batch).
+    pub fn dequeued(&self, n: usize) {
+        self.queue_depth.fetch_sub(n as i64, Relaxed);
+    }
+
+    /// Record one coalesced inference batch: `requests` replies produced by
+    /// `distinct` model evaluations (duplicates are answered once).
+    pub fn batch(&self, requests: usize, distinct: usize) {
+        self.batches.fetch_add(1, Relaxed);
+        self.batched_queries.fetch_add(distinct as u64, Relaxed);
+        self.batch_size.record(requests as u64);
+    }
+
+    /// Record an end-to-end request latency.
+    pub fn latency(&self, d: Duration) {
+        self.latency_us.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Capture a point-in-time view of every counter and histogram.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let (lat_counts, _lat_sum, lat_max) = self.latency_us.load();
+        let (bat_counts, bat_sum, bat_max) = self.batch_size.load();
+        let lat_total: u64 = lat_counts.iter().sum();
+        let bat_total: u64 = bat_counts.iter().sum();
+        MetricsSnapshot {
+            requests: self.requests.load(Relaxed),
+            cache_hits: 0,
+            cache_misses: 0,
+            overloaded: self.overloaded.load(Relaxed),
+            timeouts: self.timeouts.load(Relaxed),
+            bad_queries: self.bad_queries.load(Relaxed),
+            batches: self.batches.load(Relaxed),
+            batched_queries: self.batched_queries.load(Relaxed),
+            queue_depth: self.queue_depth.load(Relaxed).max(0),
+            model_swaps: self.model_swaps.load(Relaxed),
+            replies: lat_total,
+            latency_p50_us: percentile(&LATENCY_BOUNDS_US, &lat_counts, 0.50),
+            latency_p95_us: percentile(&LATENCY_BOUNDS_US, &lat_counts, 0.95),
+            latency_p99_us: percentile(&LATENCY_BOUNDS_US, &lat_counts, 0.99),
+            latency_max_us: lat_max,
+            mean_batch: if bat_total == 0 { 0.0 } else { bat_sum as f64 / bat_total as f64 },
+            max_batch: bat_max,
+            batch_buckets: BATCH_BOUNDS
+                .iter()
+                .zip(bat_counts.iter())
+                .map(|(&b, &c)| (b, c))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time view of [`Metrics`], plus cache accounting filled in by
+/// the service (the cache keeps its own hit/miss counters).
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Client requests received (including cache hits and rejections).
+    pub requests: u64,
+    /// Cache lookups answered without touching the model.
+    pub cache_hits: u64,
+    /// Cache lookups that missed (and went to the queue).
+    pub cache_misses: u64,
+    /// Submissions rejected with `Overloaded`.
+    pub overloaded: u64,
+    /// Requests that expired before a reply.
+    pub timeouts: u64,
+    /// Malformed queries rejected before queueing.
+    pub bad_queries: u64,
+    /// Coalesced inference batches executed.
+    pub batches: u64,
+    /// Distinct queries evaluated by the model across all batches.
+    pub batched_queries: u64,
+    /// Requests currently sitting in the queue.
+    pub queue_depth: i64,
+    /// Model hot-swaps and rollbacks.
+    pub model_swaps: u64,
+    /// Replies whose latency was recorded.
+    pub replies: u64,
+    /// End-to-end latency, 50th percentile (bucket upper bound, µs).
+    pub latency_p50_us: u64,
+    /// End-to-end latency, 95th percentile (µs).
+    pub latency_p95_us: u64,
+    /// End-to-end latency, 99th percentile (µs).
+    pub latency_p99_us: u64,
+    /// Largest observed latency (µs, exact).
+    pub latency_max_us: u64,
+    /// Mean requests coalesced per batch.
+    pub mean_batch: f64,
+    /// Largest batch observed (exact).
+    pub max_batch: u64,
+    /// `(upper_bound, count)` per batch-size bucket; the last bound is
+    /// `u64::MAX` (catch-all).
+    pub batch_buckets: Vec<(u64, u64)>,
+}
+
+impl MetricsSnapshot {
+    /// Fraction of cache lookups that hit, or 0 with no lookups.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Plain-text dump, one `name value` pair per line — the format served
+    /// by the TCP front-end's `STATS` command.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let mut line = |k: &str, v: String| {
+            s.push_str(k);
+            s.push(' ');
+            s.push_str(&v);
+            s.push('\n');
+        };
+        line("requests_total", self.requests.to_string());
+        line("cache_hits", self.cache_hits.to_string());
+        line("cache_misses", self.cache_misses.to_string());
+        line("cache_hit_rate", format!("{:.4}", self.cache_hit_rate()));
+        line("rejected_overloaded", self.overloaded.to_string());
+        line("timeouts", self.timeouts.to_string());
+        line("bad_queries", self.bad_queries.to_string());
+        line("batches_total", self.batches.to_string());
+        line("batched_queries_total", self.batched_queries.to_string());
+        line("queue_depth", self.queue_depth.to_string());
+        line("model_swaps", self.model_swaps.to_string());
+        line("replies_total", self.replies.to_string());
+        line("latency_us_p50", self.latency_p50_us.to_string());
+        line("latency_us_p95", self.latency_p95_us.to_string());
+        line("latency_us_p99", self.latency_p99_us.to_string());
+        line("latency_us_max", self.latency_max_us.to_string());
+        line("batch_size_mean", format!("{:.2}", self.mean_batch));
+        line("batch_size_max", self.max_batch.to_string());
+        for &(bound, count) in &self.batch_buckets {
+            if bound == u64::MAX {
+                line("batch_size_bucket_inf", count.to_string());
+            } else {
+                line(&format!("batch_size_bucket_le_{bound}"), count.to_string());
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_from_buckets() {
+        let m = Metrics::new();
+        // 90 fast replies (≤50µs), 10 slow (≤5ms)
+        for _ in 0..90 {
+            m.latency(Duration::from_micros(10));
+        }
+        for _ in 0..10 {
+            m.latency(Duration::from_micros(3_000));
+        }
+        let s = m.snapshot();
+        assert_eq!(s.latency_p50_us, 50);
+        assert_eq!(s.latency_p95_us, 5_000);
+        assert_eq!(s.latency_p99_us, 5_000);
+        assert_eq!(s.latency_max_us, 3_000);
+        assert_eq!(s.replies, 100);
+    }
+
+    #[test]
+    fn batch_accounting() {
+        let m = Metrics::new();
+        m.batch(16, 12);
+        m.batch(4, 4);
+        let s = m.snapshot();
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.batched_queries, 16);
+        assert_eq!(s.max_batch, 16);
+        assert!((s.mean_batch - 10.0).abs() < 1e-9);
+        // 16 lands in the ≤16 bucket, 4 in the ≤4 bucket
+        assert_eq!(s.batch_buckets[4], (16, 1));
+        assert_eq!(s.batch_buckets[2], (4, 1));
+    }
+
+    #[test]
+    fn queue_gauge_never_renders_negative() {
+        let m = Metrics::new();
+        m.dequeued(3); // worker raced ahead of the client's increment
+        assert_eq!(m.snapshot().queue_depth, 0);
+        m.enqueued();
+        m.enqueued();
+        m.enqueued();
+        assert_eq!(m.snapshot().queue_depth, 0);
+        m.enqueued();
+        assert_eq!(m.snapshot().queue_depth, 1);
+    }
+
+    #[test]
+    fn render_is_line_oriented() {
+        let s = Metrics::new().snapshot().render();
+        assert!(s.lines().all(|l| l.split(' ').count() == 2));
+        assert!(s.contains("requests_total 0"));
+        assert!(s.contains("batch_size_bucket_inf 0"));
+    }
+
+    #[test]
+    fn empty_percentile_is_zero() {
+        let s = Metrics::new().snapshot();
+        assert_eq!(s.latency_p50_us, 0);
+        assert_eq!(s.latency_p99_us, 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Minimal TCP line-protocol front-end.
+//!
+//! One request per line, one reply per line:
+//!
+//! ```text
+//! → 0=3 1=2.5..9.0            # col 0 = 3  AND  col 1 ∈ [2.5, 9.0]
+//! ← 0.127341
+//! → 1=*..0.5                  # open lower bound
+//! ← 0.480000
+//! → VERSION                   # admin: active model version
+//! ← 2 wisdm-retrained
+//! → STATS                     # admin: metrics dump, terminated by END
+//! ← requests_total 42
+//! ← …
+//! ← END
+//! → QUIT                      # close the connection
+//! ```
+//!
+//! Query grammar: whitespace-separated terms, each `col=value` (point
+//! constraint) or `col=lo..hi` (closed range; either bound may be `*` for
+//! unbounded). Repeated terms for one column intersect. Malformed lines get
+//! `ERR <reason>` and the connection stays open.
+
+use crate::error::ServeError;
+use crate::service::Client;
+use iam_data::{Interval, RangeQuery};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Parse one protocol line into a [`RangeQuery`] over `ncols` columns.
+pub fn parse_query(line: &str, ncols: usize) -> Result<RangeQuery, ServeError> {
+    let bad = |m: String| ServeError::BadQuery(m);
+    let mut rq = RangeQuery::unconstrained(ncols);
+    let mut terms = 0usize;
+    for term in line.split_whitespace() {
+        terms += 1;
+        let (col_s, range_s) =
+            term.split_once('=').ok_or_else(|| bad(format!("expected col=range, got {term:?}")))?;
+        let col: usize = col_s.parse().map_err(|_| bad(format!("bad column index {col_s:?}")))?;
+        if col >= ncols {
+            return Err(bad(format!("column {col} out of range (model has {ncols})")));
+        }
+        let parse_bound = |s: &str, open: f64| -> Result<f64, ServeError> {
+            if s == "*" {
+                return Ok(open);
+            }
+            let v: f64 = s.parse().map_err(|_| bad(format!("bad number {s:?}")))?;
+            if v.is_nan() {
+                return Err(bad("NaN bound".into()));
+            }
+            Ok(v)
+        };
+        let iv = match range_s.split_once("..") {
+            Some((lo_s, hi_s)) => Interval::closed(
+                parse_bound(lo_s, f64::NEG_INFINITY)?,
+                parse_bound(hi_s, f64::INFINITY)?,
+            ),
+            None if range_s == "*" => {
+                return Err(bad("point constraint cannot be open (*)".into()))
+            }
+            None => Interval::point(parse_bound(range_s, 0.0)?),
+        };
+        rq.cols[col] = Some(match rq.cols[col].take() {
+            Some(prev) => prev.intersect(&iv),
+            None => iv,
+        });
+    }
+    if terms == 0 {
+        return Err(bad("empty query".into()));
+    }
+    Ok(rq)
+}
+
+/// A running TCP front-end. [`TcpFrontend::stop`] ends the accept loop;
+/// already-open connections keep their handler threads until the peer
+/// disconnects (fine for tests and demos).
+pub struct TcpFrontend {
+    /// The bound address (useful with port 0).
+    pub addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: std::thread::JoinHandle<()>,
+}
+
+impl TcpFrontend {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and serve `client` over it.
+    pub fn spawn<A: ToSocketAddrs>(client: Client, addr: A) -> io::Result<TcpFrontend> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("iam-serve-accept".into())
+            .spawn(move || accept_loop(listener, client, &stop2))
+            .expect("spawn accept loop");
+        Ok(TcpFrontend { addr, stop, accept_thread })
+    }
+
+    /// Stop accepting new connections and join the accept loop.
+    pub fn stop(self) {
+        self.stop.store(true, Relaxed);
+        let _ = self.accept_thread.join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, client: Client, stop: &AtomicBool) {
+    while !stop.load(Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let client = client.clone();
+                let _ =
+                    std::thread::Builder::new().name("iam-serve-conn".into()).spawn(move || {
+                        let _ = handle_connection(stream, &client);
+                    });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, client: &Client) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut out = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        match trimmed {
+            "QUIT" => break,
+            "STATS" => {
+                out.write_all(client.metrics().render().as_bytes())?;
+                out.write_all(b"END\n")?;
+            }
+            "VERSION" => {
+                let (id, label) = client.current_version();
+                writeln!(out, "{id} {label}")?;
+            }
+            query => match parse_query(query, client.ncols()).and_then(|rq| client.estimate(&rq)) {
+                Ok(sel) => writeln!(out, "{sel:.6}")?,
+                Err(e) => writeln!(out, "ERR {e}")?,
+            },
+        }
+        out.flush()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_points_and_ranges() {
+        let rq = parse_query("0=3 1=2.5..9", 3).unwrap();
+        assert_eq!(rq.cols[0], Some(Interval::point(3.0)));
+        assert_eq!(rq.cols[1], Some(Interval::closed(2.5, 9.0)));
+        assert_eq!(rq.cols[2], None);
+    }
+
+    #[test]
+    fn open_bounds_via_star() {
+        let rq = parse_query("1=*..0.5 0=-2..*", 2).unwrap();
+        let iv1 = rq.cols[1].unwrap();
+        assert_eq!(iv1.lo, f64::NEG_INFINITY);
+        assert_eq!(iv1.hi, 0.5);
+        let iv0 = rq.cols[0].unwrap();
+        assert_eq!(iv0.lo, -2.0);
+        assert_eq!(iv0.hi, f64::INFINITY);
+    }
+
+    #[test]
+    fn repeated_terms_intersect() {
+        let rq = parse_query("0=1..10 0=5..20", 1).unwrap();
+        assert_eq!(rq.cols[0], Some(Interval::closed(5.0, 10.0)));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in ["nonsense", "0:3", "x=1", "0=a..b", "5=1..2", "", "0=*"] {
+            assert!(parse_query(bad, 2).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn canonical_keys_match_construction_route() {
+        // a parsed query must cache-key identically to the same query built
+        // programmatically
+        let parsed = parse_query("0=3 1=2.5..9", 2).unwrap();
+        let mut built = RangeQuery::unconstrained(2);
+        built.cols[0] = Some(Interval::point(3.0));
+        built.cols[1] = Some(Interval::closed(2.5, 9.0));
+        assert_eq!(parsed.canonical_key(), built.canonical_key());
+    }
+}

@@ -1,0 +1,180 @@
+//! Versioned model registry with atomic hot-swap and rollback.
+//!
+//! The active model lives behind `RwLock<Arc<ModelVersion>>`: readers clone
+//! the `Arc` (a few ns under the read lock) and then run inference with no
+//! lock held, so a swap never blocks in-flight batches — they simply finish
+//! on the version they started with. Superseded versions are kept (bounded)
+//! for [`ModelRegistry::rollback`].
+//!
+//! Loading a snapshot that fails to parse leaves the active version
+//! untouched — failed loads roll back for free because the swap only
+//! happens after a fully validated [`IamEstimator::load`].
+
+use crate::error::ServeError;
+use iam_core::IamEstimator;
+use std::io::Read;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// How many superseded versions [`ModelRegistry`] retains for rollback.
+pub const HISTORY_LIMIT: usize = 4;
+
+/// One immutable, shareable trained model plus its registry metadata.
+pub struct ModelVersion {
+    /// Monotonically increasing version id (also tags cache entries).
+    pub id: u64,
+    /// Operator-supplied label (e.g. a training-run name).
+    pub label: String,
+    /// The trained estimator; only `&self` inference is used.
+    pub model: IamEstimator,
+}
+
+/// Thread-safe registry of model versions. All methods take `&self`.
+pub struct ModelRegistry {
+    active: RwLock<Arc<ModelVersion>>,
+    history: Mutex<Vec<Arc<ModelVersion>>>,
+    next_id: AtomicU64,
+}
+
+impl ModelRegistry {
+    /// Create a registry serving `model` as version 1.
+    pub fn new(model: IamEstimator, label: &str) -> Self {
+        let v = Arc::new(ModelVersion { id: 1, label: label.to_string(), model });
+        ModelRegistry {
+            active: RwLock::new(v),
+            history: Mutex::new(Vec::new()),
+            next_id: AtomicU64::new(2),
+        }
+    }
+
+    /// The currently active version (cheap: clones an `Arc`).
+    pub fn current(&self) -> Arc<ModelVersion> {
+        self.active.read().expect("registry lock poisoned").clone()
+    }
+
+    /// Id of the currently active version.
+    pub fn current_id(&self) -> u64 {
+        self.current().id
+    }
+
+    /// Atomically activate `model` as a new version; the previous version
+    /// moves to the rollback history. Returns the new version id.
+    pub fn install(&self, model: IamEstimator, label: &str) -> u64 {
+        let id = self.next_id.fetch_add(1, Relaxed);
+        let v = Arc::new(ModelVersion { id, label: label.to_string(), model });
+        let old = {
+            let mut active = self.active.write().expect("registry lock poisoned");
+            std::mem::replace(&mut *active, v)
+        };
+        let mut h = self.history.lock().expect("registry lock poisoned");
+        h.push(old);
+        if h.len() > HISTORY_LIMIT {
+            h.remove(0);
+        }
+        id
+    }
+
+    /// Parse a persisted snapshot and hot-swap it in. On a parse failure the
+    /// active version is untouched (the error carries the reason).
+    pub fn load<R: Read>(&self, r: &mut R, label: &str) -> Result<u64, ServeError> {
+        let model = IamEstimator::load(r).map_err(|e| ServeError::Load(e.to_string()))?;
+        Ok(self.install(model, label))
+    }
+
+    /// Reactivate the most recently superseded version (the current one
+    /// moves into the history, so two rollbacks in a row swap back and
+    /// forth). The reactivated version keeps its original id — its old
+    /// cache entries are valid again, because it is byte-identical.
+    pub fn rollback(&self) -> Result<u64, ServeError> {
+        let mut h = self.history.lock().expect("registry lock poisoned");
+        let prev = h.pop().ok_or(ServeError::NoPreviousVersion)?;
+        let id = prev.id;
+        let old = {
+            let mut active = self.active.write().expect("registry lock poisoned");
+            std::mem::replace(&mut *active, prev)
+        };
+        h.push(old);
+        Ok(id)
+    }
+
+    /// Number of superseded versions available to [`Self::rollback`].
+    pub fn history_len(&self) -> usize {
+        self.history.lock().expect("registry lock poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iam_core::IamConfig;
+    use iam_data::synth::Dataset;
+
+    fn tiny_model(seed: u64) -> IamEstimator {
+        let table = Dataset::Twi.generate(600, seed);
+        let cfg = IamConfig {
+            components: 4,
+            hidden: vec![16, 16],
+            embed_dim: 4,
+            epochs: 1,
+            samples: 50,
+            seed,
+            ..IamConfig::default()
+        };
+        IamEstimator::fit(&table, cfg)
+    }
+
+    #[test]
+    fn install_and_rollback_cycle() {
+        let reg = ModelRegistry::new(tiny_model(1), "v1");
+        assert_eq!(reg.current_id(), 1);
+        assert_eq!(reg.current().label, "v1");
+
+        let id2 = reg.install(tiny_model(2), "v2");
+        assert_eq!(id2, 2);
+        assert_eq!(reg.current_id(), 2);
+        assert_eq!(reg.history_len(), 1);
+
+        // rollback reactivates v1 with its original id
+        assert_eq!(reg.rollback().unwrap(), 1);
+        assert_eq!(reg.current().label, "v1");
+        // and rolling back again swaps forward to v2
+        assert_eq!(reg.rollback().unwrap(), 2);
+        assert_eq!(reg.current().label, "v2");
+    }
+
+    #[test]
+    fn rollback_without_history_errors() {
+        let reg = ModelRegistry::new(tiny_model(3), "only");
+        assert_eq!(reg.rollback(), Err(ServeError::NoPreviousVersion));
+        assert_eq!(reg.current_id(), 1, "failed rollback must not disturb the active model");
+    }
+
+    #[test]
+    fn failed_load_keeps_active_version() {
+        let reg = ModelRegistry::new(tiny_model(4), "v1");
+        let err = reg.load(&mut &b"not a snapshot"[..], "bad").unwrap_err();
+        assert!(matches!(err, ServeError::Load(_)));
+        assert_eq!(reg.current_id(), 1);
+        assert_eq!(reg.history_len(), 0, "no history entry for a failed load");
+    }
+
+    #[test]
+    fn successful_load_swaps() {
+        let mut m = tiny_model(5);
+        let mut buf = Vec::new();
+        m.save(&mut buf).unwrap();
+        let reg = ModelRegistry::new(tiny_model(6), "v1");
+        let id = reg.load(&mut buf.as_slice(), "loaded").unwrap();
+        assert_eq!(id, 2);
+        assert_eq!(reg.current().label, "loaded");
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let reg = ModelRegistry::new(tiny_model(7), "v1");
+        for i in 0..(HISTORY_LIMIT + 3) {
+            reg.install(tiny_model(8), &format!("v{}", i + 2));
+        }
+        assert_eq!(reg.history_len(), HISTORY_LIMIT);
+    }
+}

@@ -1,0 +1,389 @@
+//! The estimation service: a bounded request queue, micro-batching workers,
+//! and the in-process [`Client`] handle.
+//!
+//! # Request life cycle
+//!
+//! 1. [`Client::estimate`] canonicalizes the query, consults the cache, and
+//!    on a miss `try_send`s a request into the bounded queue — a full queue
+//!    rejects immediately with [`ServeError::Overloaded`] (backpressure,
+//!    never blocking the caller).
+//! 2. A worker thread pops the first pending request, then keeps popping
+//!    until it has [`ServeConfig::max_batch`] requests or the
+//!    [`ServeConfig::flush_interval`] window closes — the micro-batch.
+//! 3. The batch is deduplicated by canonical key, evaluated in **one**
+//!    batched inference call on the current model version, and each request
+//!    gets its reply through a per-request channel. Results enter the cache
+//!    tagged with the version id they were computed under.
+//!
+//! Because per-query sampling seeds derive from the canonical key (see
+//! `iam_core::infer`), coalescing arbitrary requests into one batch returns
+//! bitwise-identical estimates to answering each query alone.
+//!
+//! # Shutdown
+//!
+//! [`Service::shutdown`] flips the shutdown flag (new submissions are
+//! rejected with [`ServeError::ShuttingDown`]) and joins the workers, which
+//! drain every request already queued before exiting.
+
+use crate::cache::QueryCache;
+use crate::error::ServeError;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::registry::{ModelRegistry, ModelVersion};
+use iam_core::IamEstimator;
+use iam_data::RangeQuery;
+use std::collections::HashMap;
+use std::io::Read;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`Service::start`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Batch worker threads. `0` starts no workers — queued requests are
+    /// never served (useful for deterministic overload/timeout tests).
+    pub workers: usize,
+    /// Maximum requests coalesced into one inference call.
+    pub max_batch: usize,
+    /// Bound of the request queue; a full queue rejects with
+    /// [`ServeError::Overloaded`].
+    pub queue_depth: usize,
+    /// How long a worker holding a non-full batch waits for more requests
+    /// before flushing it.
+    pub flush_interval: Duration,
+    /// Threads used *inside* one batched inference call
+    /// (`IamEstimator::estimate_batch_shared`); does not change results.
+    pub inner_threads: usize,
+    /// Total result-cache entries (`0` disables the cache).
+    pub cache_capacity: usize,
+    /// Cache shards (rounded up to a power of two).
+    pub cache_shards: usize,
+    /// Default per-request timeout for [`Client::estimate`].
+    pub request_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            max_batch: 32,
+            queue_depth: 256,
+            flush_interval: Duration::from_millis(2),
+            inner_threads: 1,
+            cache_capacity: 4096,
+            cache_shards: 8,
+            request_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// One queued estimation request.
+struct Request {
+    query: RangeQuery,
+    key: u64,
+    enqueued: Instant,
+    deadline: Instant,
+    reply: SyncSender<Result<f64, ServeError>>,
+}
+
+/// State shared by the service, its workers, and every client handle.
+struct ServiceInner {
+    cfg: ServeConfig,
+    registry: ModelRegistry,
+    cache: QueryCache,
+    metrics: Metrics,
+    tx: SyncSender<Request>,
+    rx: Mutex<Receiver<Request>>,
+    shutdown: AtomicBool,
+}
+
+impl ServiceInner {
+    /// Metrics snapshot with the cache's hit/miss accounting merged in.
+    fn snapshot(&self) -> MetricsSnapshot {
+        let mut s = self.metrics.snapshot();
+        let (hits, misses) = self.cache.stats();
+        s.cache_hits = hits;
+        s.cache_misses = misses;
+        s
+    }
+}
+
+/// A running estimation service. Dropping it without calling
+/// [`Service::shutdown`] detaches the workers (they keep serving until the
+/// process exits); call `shutdown` for a graceful drain.
+pub struct Service {
+    inner: Arc<ServiceInner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Service {
+    /// Start a service over `model` (registered as version 1).
+    pub fn start(model: IamEstimator, label: &str, cfg: ServeConfig) -> Service {
+        let (tx, rx) = sync_channel::<Request>(cfg.queue_depth.max(1));
+        let inner = Arc::new(ServiceInner {
+            registry: ModelRegistry::new(model, label),
+            cache: QueryCache::new(cfg.cache_capacity, cfg.cache_shards),
+            metrics: Metrics::new(),
+            tx,
+            rx: Mutex::new(rx),
+            shutdown: AtomicBool::new(false),
+            cfg,
+        });
+        let workers = (0..inner.cfg.workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("iam-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Service { inner, workers }
+    }
+
+    /// A cheap, clonable handle for submitting queries.
+    pub fn client(&self) -> Client {
+        Client { inner: Arc::clone(&self.inner) }
+    }
+
+    /// Hot-swap `model` in as a new version; in-flight batches finish on
+    /// the old version, the cache is invalidated. Returns the version id.
+    pub fn swap_model(&self, model: IamEstimator, label: &str) -> u64 {
+        let id = self.inner.registry.install(model, label);
+        self.inner.cache.clear();
+        self.inner.metrics.model_swap();
+        id
+    }
+
+    /// Load a persisted snapshot and hot-swap it in. A snapshot that fails
+    /// to parse leaves the active version (and the cache) untouched.
+    pub fn load_model<R: Read>(&self, r: &mut R, label: &str) -> Result<u64, ServeError> {
+        let id = self.inner.registry.load(r, label)?;
+        self.inner.cache.clear();
+        self.inner.metrics.model_swap();
+        Ok(id)
+    }
+
+    /// Reactivate the previously active version (see
+    /// [`ModelRegistry::rollback`]). The cache is cleared even though old
+    /// entries would still be valid — simpler than resurrecting them.
+    pub fn rollback_model(&self) -> Result<u64, ServeError> {
+        let id = self.inner.registry.rollback()?;
+        self.inner.cache.clear();
+        self.inner.metrics.model_swap();
+        Ok(id)
+    }
+
+    /// `(id, label)` of the active model version.
+    pub fn current_version(&self) -> (u64, String) {
+        let v = self.inner.registry.current();
+        (v.id, v.label.clone())
+    }
+
+    /// Point-in-time metrics (cache accounting included).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.snapshot()
+    }
+
+    /// Stop accepting requests, drain everything already queued, join the
+    /// workers, and return the final metrics.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.inner.shutdown.store(true, Relaxed);
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        self.inner.snapshot()
+    }
+}
+
+/// An in-process handle to a [`Service`]. Clone freely; all methods take
+/// `&self` and are safe from any thread.
+#[derive(Clone)]
+pub struct Client {
+    inner: Arc<ServiceInner>,
+}
+
+impl Client {
+    /// Estimate the selectivity of `q` with the default timeout.
+    pub fn estimate(&self, q: &RangeQuery) -> Result<f64, ServeError> {
+        self.estimate_timeout(q, self.inner.cfg.request_timeout)
+    }
+
+    /// Estimate with an explicit per-request timeout.
+    pub fn estimate_timeout(&self, q: &RangeQuery, timeout: Duration) -> Result<f64, ServeError> {
+        let inner = &*self.inner;
+        inner.metrics.request();
+        if inner.shutdown.load(Relaxed) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let start = Instant::now();
+        let version = inner.registry.current();
+        let ncols = version.model.schema.handlers.len();
+        if q.cols.len() != ncols {
+            inner.metrics.bad_query();
+            return Err(ServeError::BadQuery(format!(
+                "query has {} columns, model has {ncols}",
+                q.cols.len()
+            )));
+        }
+        let key = q.canonical_key();
+        if let Some(v) = inner.cache.get(key, version.id) {
+            inner.metrics.latency(start.elapsed());
+            return Ok(v);
+        }
+        let (reply_tx, reply_rx) = sync_channel(1);
+        let req = Request {
+            query: q.clone(),
+            key,
+            enqueued: start,
+            deadline: start + timeout,
+            reply: reply_tx,
+        };
+        match inner.tx.try_send(req) {
+            Ok(()) => inner.metrics.enqueued(),
+            Err(TrySendError::Full(_)) => {
+                inner.metrics.overloaded();
+                return Err(ServeError::Overloaded);
+            }
+            Err(TrySendError::Disconnected(_)) => return Err(ServeError::ShuttingDown),
+        }
+        match reply_rx.recv_timeout(timeout) {
+            Ok(res) => res,
+            Err(_) => {
+                // the worker will find the deadline expired (or reply into
+                // a dropped channel); count the timeout here, once
+                inner.metrics.timeout();
+                Err(ServeError::Timeout)
+            }
+        }
+    }
+
+    /// Column arity the active model expects.
+    pub fn ncols(&self) -> usize {
+        self.inner.registry.current().model.schema.handlers.len()
+    }
+
+    /// `(id, label)` of the active model version.
+    pub fn current_version(&self) -> (u64, String) {
+        let v = self.inner.registry.current();
+        (v.id, v.label.clone())
+    }
+
+    /// Point-in-time metrics (cache accounting included).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.snapshot()
+    }
+}
+
+/// How long an idle worker sleeps in `recv_timeout` before re-checking the
+/// shutdown flag.
+const IDLE_POLL: Duration = Duration::from_millis(20);
+
+fn worker_loop(inner: &ServiceInner) {
+    let mut batch: Vec<Request> = Vec::with_capacity(inner.cfg.max_batch.max(1));
+    loop {
+        batch.clear();
+        {
+            // hold the receiver only while assembling the batch, never
+            // during inference — other workers collect the next batch
+            // while this one computes
+            let rx = inner.rx.lock().expect("queue receiver poisoned");
+            match rx.recv_timeout(IDLE_POLL) {
+                Ok(first) => {
+                    batch.push(first);
+                    let flush_at = Instant::now() + inner.cfg.flush_interval;
+                    loop {
+                        // natural batching: always take what is already
+                        // queued without waiting …
+                        while batch.len() < inner.cfg.max_batch {
+                            match rx.try_recv() {
+                                Ok(r) => batch.push(r),
+                                Err(_) => break,
+                            }
+                        }
+                        if batch.len() >= inner.cfg.max_batch {
+                            break;
+                        }
+                        // … and only wait out the flush window for a batch
+                        // that is still short
+                        let now = Instant::now();
+                        if now >= flush_at {
+                            break;
+                        }
+                        match rx.recv_timeout(flush_at - now) {
+                            Ok(r) => batch.push(r),
+                            Err(_) => break,
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if inner.shutdown.load(Relaxed) {
+                        // final drain: catch any request that slipped past
+                        // the shutdown check concurrently with the flag flip
+                        let mut rest: Vec<Request> = Vec::new();
+                        while let Ok(r) = rx.try_recv() {
+                            rest.push(r);
+                        }
+                        drop(rx);
+                        inner.metrics.dequeued(rest.len());
+                        while !rest.is_empty() {
+                            let take = rest.len().min(inner.cfg.max_batch.max(1));
+                            let mut b: Vec<Request> = rest.drain(..take).collect();
+                            process_batch(inner, &mut b);
+                        }
+                        return;
+                    }
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        }
+        inner.metrics.dequeued(batch.len());
+        process_batch(inner, &mut batch);
+    }
+}
+
+/// Answer one coalesced batch: expire dead requests, deduplicate by
+/// canonical key, run a single batched inference call, reply and cache.
+fn process_batch(inner: &ServiceInner, batch: &mut Vec<Request>) {
+    let version: Arc<ModelVersion> = inner.registry.current();
+    let now = Instant::now();
+
+    // expire requests whose client has already given up
+    let mut live: Vec<Request> = Vec::with_capacity(batch.len());
+    for req in batch.drain(..) {
+        if now >= req.deadline {
+            let _ = req.reply.try_send(Err(ServeError::Timeout));
+        } else {
+            live.push(req);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    // deduplicate: identical canonical keys share one model evaluation
+    // (and, by the seeding invariant, would produce identical results
+    // anyway — this just avoids paying for them twice)
+    let mut slot_of: HashMap<u64, usize> = HashMap::with_capacity(live.len());
+    let mut queries: Vec<RangeQuery> = Vec::with_capacity(live.len());
+    let mut slots: Vec<usize> = Vec::with_capacity(live.len());
+    for req in &live {
+        let slot = *slot_of.entry(req.key).or_insert_with(|| {
+            queries.push(req.query.clone());
+            queries.len() - 1
+        });
+        slots.push(slot);
+    }
+
+    let estimates = version.model.estimate_batch_shared(&queries, inner.cfg.inner_threads);
+    inner.metrics.batch(live.len(), queries.len());
+
+    for (req, &slot) in live.iter().zip(&slots) {
+        let value = estimates[slot];
+        inner.cache.insert(req.key, version.id, value);
+        let _ = req.reply.try_send(Ok(value));
+        inner.metrics.latency(req.enqueued.elapsed());
+    }
+}

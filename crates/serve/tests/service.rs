@@ -1,0 +1,306 @@
+//! Integration tests for the serving layer: bitwise parity with direct
+//! inference, backpressure, hot-swap/rollback, draining shutdown, and the
+//! TCP front-end.
+
+use iam_core::{IamConfig, IamEstimator};
+use iam_data::synth::Dataset;
+use iam_data::{RangeQuery, WorkloadConfig, WorkloadGenerator};
+use iam_serve::{parse_query, ServeConfig, ServeError, Service, TcpFrontend};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+fn tiny_model(seed: u64) -> IamEstimator {
+    let table = Dataset::Twi.generate(800, seed);
+    let cfg = IamConfig {
+        components: 4,
+        hidden: vec![24, 24],
+        embed_dim: 6,
+        epochs: 2,
+        samples: 100,
+        seed,
+        ..IamConfig::default()
+    };
+    IamEstimator::fit(&table, cfg)
+}
+
+fn workload(seed: u64, n: usize) -> Vec<RangeQuery> {
+    let table = Dataset::Twi.generate(800, seed);
+    let mut gen = WorkloadGenerator::new(&table, WorkloadConfig::default(), seed ^ 0xABCD);
+    gen.gen_queries(n).iter().map(|q| q.normalize(2).unwrap().0).collect()
+}
+
+/// The acceptance criterion: estimates served through the queue + batcher +
+/// cache are bitwise identical to direct batched inference, from any number
+/// of concurrent clients, regardless of how requests get coalesced.
+#[test]
+fn service_matches_direct_inference_bitwise() {
+    let est = tiny_model(1);
+    let queries = workload(1, 12);
+    let direct = est.estimate_batch_shared(&queries, 1);
+
+    let service = Service::start(
+        est,
+        "v1",
+        ServeConfig {
+            workers: 2,
+            max_batch: 8,
+            flush_interval: Duration::from_millis(5),
+            inner_threads: 2,
+            ..ServeConfig::default()
+        },
+    );
+
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            let client = service.client();
+            let queries = &queries;
+            let direct = &direct;
+            s.spawn(move || {
+                // each thread walks the workload from a different offset so
+                // batches mix different queries
+                for i in 0..queries.len() {
+                    let j = (i + t * 3) % queries.len();
+                    let got = client.estimate(&queries[j]).expect("estimate failed");
+                    assert_eq!(
+                        got.to_bits(),
+                        direct[j].to_bits(),
+                        "query {j} served {got} but direct inference gave {}",
+                        direct[j]
+                    );
+                }
+            });
+        }
+    });
+
+    // every answer is now cached: a re-query must hit
+    let client = service.client();
+    let (hits_before, _) = {
+        let s = client.metrics();
+        (s.cache_hits, s.cache_misses)
+    };
+    for (q, &d) in queries.iter().zip(&direct) {
+        assert_eq!(client.estimate(q).unwrap().to_bits(), d.to_bits());
+    }
+    let snap = service.shutdown();
+    assert!(
+        snap.cache_hits >= hits_before + queries.len() as u64,
+        "re-queries should all hit the cache: {snap:?}"
+    );
+    assert!(snap.batches > 0, "no batches executed");
+    assert_eq!(snap.replies as usize, 4 * queries.len() + queries.len());
+    assert_eq!(snap.timeouts, 0);
+    assert_eq!(snap.overloaded, 0);
+}
+
+/// With no workers the queue never drains: once it is full, submissions
+/// must be rejected immediately with `Overloaded` — not block — and the
+/// queued requests time out.
+#[test]
+fn overloaded_queue_rejects_without_blocking() {
+    let service = Service::start(
+        tiny_model(2),
+        "v1",
+        ServeConfig { workers: 0, queue_depth: 2, cache_capacity: 0, ..ServeConfig::default() },
+    );
+    let queries = workload(2, 3);
+
+    std::thread::scope(|s| {
+        for q in &queries[..2] {
+            let client = service.client();
+            s.spawn(move || {
+                assert_eq!(
+                    client.estimate_timeout(q, Duration::from_millis(600)),
+                    Err(ServeError::Timeout),
+                    "queued request with no workers must time out"
+                );
+            });
+        }
+        // wait until both fillers are queued
+        let client = service.client();
+        let t0 = Instant::now();
+        while client.metrics().queue_depth < 2 {
+            assert!(t0.elapsed() < Duration::from_secs(2), "fillers never enqueued");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let t1 = Instant::now();
+        assert_eq!(
+            client.estimate_timeout(&queries[2], Duration::from_millis(500)),
+            Err(ServeError::Overloaded)
+        );
+        assert!(
+            t1.elapsed() < Duration::from_millis(400),
+            "overload rejection must not wait for the timeout"
+        );
+    });
+
+    let snap = service.shutdown();
+    assert_eq!(snap.overloaded, 1);
+    assert_eq!(snap.timeouts, 2);
+}
+
+/// Hot-swapping changes which model answers; version-tagged cache entries
+/// from the old model are never served; rollback restores the old answers.
+#[test]
+fn hot_swap_and_rollback_change_answers() {
+    let est_a = tiny_model(3);
+    let est_b = tiny_model(4);
+    let queries = workload(3, 4);
+    let direct_a = est_a.estimate_batch_shared(&queries, 1);
+    let direct_b = est_b.estimate_batch_shared(&queries, 1);
+    // the two trainings must actually disagree for this test to mean much
+    assert!(direct_a.iter().zip(&direct_b).any(|(a, b)| a.to_bits() != b.to_bits()));
+
+    let service = Service::start(est_a, "run-a", ServeConfig { workers: 1, ..Default::default() });
+    let client = service.client();
+    for (q, &d) in queries.iter().zip(&direct_a) {
+        assert_eq!(client.estimate(q).unwrap().to_bits(), d.to_bits());
+    }
+
+    let id = service.swap_model(est_b, "run-b");
+    assert_eq!(id, 2);
+    assert_eq!(service.current_version(), (2, "run-b".to_string()));
+    for (q, &d) in queries.iter().zip(&direct_b) {
+        assert_eq!(
+            client.estimate(q).unwrap().to_bits(),
+            d.to_bits(),
+            "swap must invalidate cached answers from run-a"
+        );
+    }
+
+    assert_eq!(service.rollback_model().unwrap(), 1);
+    for (q, &d) in queries.iter().zip(&direct_a) {
+        assert_eq!(client.estimate(q).unwrap().to_bits(), d.to_bits());
+    }
+
+    let snap = service.shutdown();
+    assert_eq!(snap.model_swaps, 2);
+}
+
+/// A snapshot that fails to parse must leave the active version serving.
+#[test]
+fn failed_load_rolls_back_to_active_version() {
+    let est = tiny_model(5);
+    let queries = workload(5, 2);
+    let direct = est.estimate_batch_shared(&queries, 1);
+    let service = Service::start(est, "v1", ServeConfig { workers: 1, ..Default::default() });
+    let client = service.client();
+
+    let err = service.load_model(&mut &b"IAM1 garbage"[..], "broken").unwrap_err();
+    assert!(matches!(err, ServeError::Load(_)));
+    assert_eq!(service.current_version().0, 1);
+    for (q, &d) in queries.iter().zip(&direct) {
+        assert_eq!(client.estimate(q).unwrap().to_bits(), d.to_bits());
+    }
+    service.shutdown();
+}
+
+/// Shutdown must drain: every request accepted into the queue gets a real
+/// reply; requests arriving after the flag see `ShuttingDown`; nothing
+/// times out.
+#[test]
+fn shutdown_drains_accepted_requests() {
+    let service = Service::start(
+        tiny_model(6),
+        "v1",
+        ServeConfig {
+            workers: 1,
+            max_batch: 64,
+            flush_interval: Duration::from_millis(20),
+            cache_capacity: 0,
+            ..ServeConfig::default()
+        },
+    );
+    let queries = workload(6, 8);
+
+    let mut handles = Vec::new();
+    for q in queries.clone() {
+        let client = service.client();
+        handles.push(std::thread::spawn(move || client.estimate(&q)));
+    }
+    // let some requests enter the queue, then drain
+    std::thread::sleep(Duration::from_millis(5));
+    let snap = service.shutdown();
+
+    let mut answered = 0;
+    for h in handles {
+        match h.join().unwrap() {
+            Ok(sel) => {
+                assert!((0.0..=1.0).contains(&sel));
+                answered += 1;
+            }
+            Err(ServeError::ShuttingDown) => {}
+            Err(e) => panic!("drain lost a request: {e}"),
+        }
+    }
+    assert_eq!(snap.timeouts, 0);
+    assert_eq!(answered as u64, snap.replies, "every accepted request must be answered");
+}
+
+/// Arity mismatches are rejected before queueing.
+#[test]
+fn wrong_arity_is_a_bad_query() {
+    let service = Service::start(tiny_model(7), "v1", ServeConfig::default());
+    let client = service.client();
+    assert_eq!(client.ncols(), 2);
+    let q = RangeQuery::unconstrained(5);
+    assert!(matches!(client.estimate(&q), Err(ServeError::BadQuery(_))));
+    let snap = service.shutdown();
+    assert_eq!(snap.bad_queries, 1);
+}
+
+/// End-to-end over TCP: queries, VERSION, STATS, error replies, QUIT.
+#[test]
+fn tcp_frontend_serves_line_protocol() {
+    let est = tiny_model(8);
+    let query_line = "0=0.2..0.8 1=*..0.5";
+    let rq = parse_query(query_line, 2).unwrap();
+    let direct = est.estimate_batch_shared(std::slice::from_ref(&rq), 1)[0];
+
+    let service = Service::start(est, "tcp-test", ServeConfig { workers: 1, ..Default::default() });
+    let frontend = TcpFrontend::spawn(service.client(), "127.0.0.1:0").unwrap();
+
+    let stream = TcpStream::connect(frontend.addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let write = |s: &str| {
+        let mut w = &stream;
+        writeln!(w, "{s}").unwrap();
+    };
+    let mut read_line = || {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        line.trim_end().to_string()
+    };
+
+    write("VERSION");
+    assert_eq!(read_line(), "1 tcp-test");
+
+    write(query_line);
+    assert_eq!(read_line(), format!("{direct:.6}"));
+
+    // same line again: answered from cache, same bits
+    write(query_line);
+    assert_eq!(read_line(), format!("{direct:.6}"));
+
+    write("this is not a query");
+    assert!(read_line().starts_with("ERR "));
+
+    write("STATS");
+    let mut stats = Vec::new();
+    loop {
+        let l = read_line();
+        if l == "END" {
+            break;
+        }
+        stats.push(l);
+    }
+    assert!(stats.iter().any(|l| l.starts_with("requests_total ")));
+    assert!(
+        stats.iter().any(|l| l == "cache_hits 1"),
+        "second query should have hit the cache: {stats:?}"
+    );
+
+    write("QUIT");
+    frontend.stop();
+    service.shutdown();
+}

@@ -24,13 +24,12 @@ fn main() {
     //    flat sample — continuous columns GMM-reduced, large categoricals
     //    factorised, per-table presence indicators included.
     let (flat, schema) = flatten_foj(&star, 15_000, 22);
-    println!("\ntraining IAM on a {}-row FOJ sample ({} flat columns)...", flat.nrows(), flat.ncols());
-    let cfg = IamConfig {
-        epochs: 6,
-        samples: 512,
-        factorize_threshold: 256,
-        ..IamConfig::small()
-    };
+    println!(
+        "\ntraining IAM on a {}-row FOJ sample ({} flat columns)...",
+        flat.nrows(),
+        flat.ncols()
+    );
+    let cfg = IamConfig { epochs: 6, samples: 512, factorize_threshold: 256, ..IamConfig::small() };
     let iam = IamEstimator::fit(&flat, cfg);
     let mut est = FlatJoinEstimator::new(iam, schema);
 

@@ -17,12 +17,7 @@ use iam_opt::{
 fn main() {
     let star = synthetic_imdb(&ImdbConfig { movies: 4000, seed: 31 });
     let (flat, schema) = flatten_foj(&star, 12_000, 32);
-    let cfg = IamConfig {
-        epochs: 5,
-        samples: 256,
-        factorize_threshold: 256,
-        ..IamConfig::small()
-    };
+    let cfg = IamConfig { epochs: 5, samples: 256, factorize_threshold: 256, ..IamConfig::small() };
     println!("training IAM + Neurocard-style ablation on the FOJ sample...");
     let iam = IamEstimator::fit(&flat, cfg.clone());
     let nc = IamEstimator::fit(&flat, neurocard_lite(cfg));

@@ -20,12 +20,7 @@ fn main() {
     let table = Dataset::Twi.generate(30_000, 7);
     println!("TWI-like dataset: {} rows (lat/lon)", table.nrows());
 
-    let cfg = IamConfig {
-        epochs: 6,
-        samples: 512,
-        factorize_threshold: 256,
-        ..IamConfig::small()
-    };
+    let cfg = IamConfig { epochs: 6, samples: 512, factorize_threshold: 256, ..IamConfig::small() };
     println!("training IAM (GMM-reduced domains)...");
     let mut iam = IamEstimator::fit(&table, cfg.clone());
     println!("training Neurocard-style ablation (factorised domains)...");

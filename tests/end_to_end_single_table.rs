@@ -4,8 +4,7 @@
 use iam_core::{neurocard_lite, IamConfig, IamEstimator, RangeMassMode, ReducerKind};
 use iam_data::synth::Dataset;
 use iam_data::{
-    exact_selectivity, q_error, RangeQuery, SelectivityEstimator, WorkloadConfig,
-    WorkloadGenerator,
+    exact_selectivity, q_error, RangeQuery, SelectivityEstimator, WorkloadConfig, WorkloadGenerator,
 };
 
 fn quick_cfg(seed: u64) -> IamConfig {
@@ -84,10 +83,7 @@ fn monte_carlo_range_mass_matches_exact_mode() {
         let (rq, _) = q.normalize(2).unwrap();
         let a = exact.estimate(&rq);
         let b = mc.estimate(&rq);
-        assert!(
-            (a - b).abs() < 0.05 + 0.5 * a,
-            "exact {a} vs monte-carlo {b} should agree"
-        );
+        assert!((a - b).abs() < 0.05 + 0.5 * a, "exact {a} vs monte-carlo {b} should agree");
     }
 }
 

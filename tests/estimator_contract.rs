@@ -5,8 +5,7 @@
 use iam_data::query::{Interval, Op, Predicate, Query};
 use iam_data::synth::Dataset;
 use iam_data::{
-    exact_selectivity, RangeQuery, SelectivityEstimator, Table, WorkloadConfig,
-    WorkloadGenerator,
+    exact_selectivity, RangeQuery, SelectivityEstimator, Table, WorkloadConfig, WorkloadGenerator,
 };
 use iam_estimators::spn::SpnConfig;
 use iam_estimators::{
@@ -38,11 +37,7 @@ fn all_estimators(t: &Table) -> Vec<(Box<dyn SelectivityEstimator>, bool)> {
         (Box::new(KdeEstimator::new(t, 500, 2)), true),
         (Box::new(SpnEstimator::new(t, SpnConfig::default())), true),
         (
-            Box::new(MscnLite::fit(
-                t,
-                &train,
-                MscnConfig { epochs: 10, ..Default::default() },
-            )),
+            Box::new(MscnLite::fit(t, &train, MscnConfig { epochs: 10, ..Default::default() })),
             false, // learned regressor: not structurally monotone
         ),
         (Box::new(QuickSelLite::fit(t, &train, 60, 200)), true),
@@ -96,11 +91,8 @@ fn widening_a_range_is_monotone_for_deterministic_estimators() {
 fn estimates_are_valid_probabilities_across_a_workload() {
     let t = table();
     let mut gen = WorkloadGenerator::new(&t, WorkloadConfig::default(), 77);
-    let queries: Vec<RangeQuery> = gen
-        .gen_queries(60)
-        .into_iter()
-        .map(|q| q.normalize(t.ncols()).unwrap().0)
-        .collect();
+    let queries: Vec<RangeQuery> =
+        gen.gen_queries(60).into_iter().map(|q| q.normalize(t.ncols()).unwrap().0).collect();
     for (mut est, _) in all_estimators(&t) {
         for rq in &queries {
             let sel = est.estimate(rq);

@@ -25,7 +25,7 @@ fn small_table(n: usize, seed: u64) -> Table {
     let blobs = Gmm1d::new(vec![0.4, 0.35, 0.25], vec![-6.0, 0.0, 7.0], vec![1.0, 0.8, 1.3]);
     for _ in 0..n {
         let ai = rng.random_range(0..4u32);
-        let bi = (ai + rng.random_range(0..2)) % 3;
+        let bi = (ai + rng.random_range(0..2u32)) % 3;
         a.push(ai);
         b.push(bi);
         x.push(blobs.sample(&mut rng) + ai as f64);
@@ -51,13 +51,11 @@ fn exhaustive_model_selectivity(est: &mut IamEstimator, rq: &RangeQuery) -> f64 
         None => return 0.0,
     };
     let nslots = est.schema.nslots();
-    let domains: Vec<usize> = est.schema.slot_domains.clone();
 
     // recursive enumeration over slot values, carrying prefix probability
     fn recurse(
         est: &mut IamEstimator,
         plan: &[iam_core::SlotConstraint],
-        domains: &[usize],
         prefix: &mut Vec<usize>,
         slot: usize,
         nslots: usize,
@@ -69,7 +67,7 @@ fn exhaustive_model_selectivity(est: &mut IamEstimator, rq: &RangeQuery) -> f64 
             SlotConstraint::Wildcard => {
                 // wildcard skipping: feed MASK, weight 1
                 prefix.push(usize::MAX); // placeholder meaning MASK
-                let total = recurse(est, plan, domains, prefix, slot + 1, nslots);
+                let total = recurse(est, plan, prefix, slot + 1, nslots);
                 prefix.pop();
                 total
             }
@@ -93,7 +91,7 @@ fn exhaustive_model_selectivity(est: &mut IamEstimator, rq: &RangeQuery) -> f64 
                         continue;
                     }
                     prefix.push(v);
-                    total += p * w * recurse(est, plan, domains, prefix, slot + 1, nslots);
+                    total += p * w * recurse(est, plan, prefix, slot + 1, nslots);
                     prefix.pop();
                 }
                 total
@@ -121,7 +119,7 @@ fn exhaustive_model_selectivity(est: &mut IamEstimator, rq: &RangeQuery) -> f64 
     }
 
     let mut prefix = Vec::new();
-    recurse(est, &plan, &domains, &mut prefix, 0, nslots)
+    recurse(est, &plan, &mut prefix, 0, nslots)
 }
 
 fn check_unbiased(mut est: IamEstimator, rq: &RangeQuery, runs: usize, tol: f64) {

@@ -1,0 +1,171 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors the small slice of the criterion API its
+//! micro-benchmarks use: [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`black_box`] and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical machinery this shim warms up briefly,
+//! then times batches of iterations until a wall-clock budget is spent and
+//! reports the mean, best and worst per-iteration time. Good enough to
+//! compare hot paths before/after a change; not a substitute for real
+//! criterion when statistical rigour matters.
+//!
+//! Environment knobs: `IAM_BENCH_WARMUP_MS` (default 200) and
+//! `IAM_BENCH_MEASURE_MS` (default 1000).
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Run `f` as a named benchmark and print a one-line summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let warmup = env_ms("IAM_BENCH_WARMUP_MS", 200);
+        let measure = env_ms("IAM_BENCH_MEASURE_MS", 1000);
+        let mut b =
+            Bencher { mode: Mode::Warmup { budget: warmup }, samples: Vec::new(), iters: 0 };
+        f(&mut b);
+        // calibrated: run again in measurement mode
+        let per_iter_hint = b.per_iter_hint();
+        let mut b = Bencher {
+            mode: Mode::Measure { budget: measure, per_iter_hint },
+            samples: Vec::new(),
+            iters: 0,
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+}
+
+fn env_ms(var: &str, default: u64) -> Duration {
+    Duration::from_millis(std::env::var(var).ok().and_then(|v| v.parse().ok()).unwrap_or(default))
+}
+
+#[derive(Debug)]
+enum Mode {
+    Warmup { budget: Duration },
+    Measure { budget: Duration, per_iter_hint: Duration },
+}
+
+/// Timing loop driver (the `b` in `bench_function("x", |b| b.iter(..))`).
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    /// Per-batch (batch_len, elapsed) samples.
+    samples: Vec<(u64, Duration)>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Repeatedly run `routine`, timing batches until the budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let (budget, batch) = match self.mode {
+            Mode::Warmup { budget } => (budget, 1u64),
+            Mode::Measure { budget, per_iter_hint } => {
+                // target ~1ms per timed batch to drown out timer overhead
+                let hint = per_iter_hint.as_nanos().max(1);
+                (budget, (1_000_000 / hint).clamp(1, 1_000_000) as u64)
+            }
+        };
+        let start = Instant::now();
+        while start.elapsed() < budget {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push((batch, t0.elapsed()));
+            self.iters += batch;
+        }
+    }
+
+    fn per_iter_hint(&self) -> Duration {
+        let total: Duration = self.samples.iter().map(|(_, d)| *d).sum();
+        if self.iters == 0 {
+            Duration::from_nanos(1)
+        } else {
+            total / self.iters.max(1) as u32
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("{name:<40} (no iterations)");
+            return;
+        }
+        let per: Vec<f64> =
+            self.samples.iter().map(|(n, d)| d.as_secs_f64() * 1e9 / *n as f64).collect();
+        let mean = per.iter().sum::<f64>() / per.len() as f64;
+        let best = per.iter().copied().fold(f64::INFINITY, f64::min);
+        let worst = per.iter().copied().fold(0.0f64, f64::max);
+        println!(
+            "{name:<40} mean {:>12} best {:>12} worst {:>12} ({} iters)",
+            fmt_ns(mean),
+            fmt_ns(best),
+            fmt_ns(worst),
+            self.iters
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Collect benchmark functions into one group runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        std::env::set_var("IAM_BENCH_WARMUP_MS", "5");
+        std::env::set_var("IAM_BENCH_MEASURE_MS", "10");
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        assert!(calls > 0);
+    }
+}
