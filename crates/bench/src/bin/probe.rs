@@ -1,10 +1,13 @@
-//! Diagnostic probe (dev tool): per-query error breakdown for IAM.
+//! Diagnostic probe (dev tool): per-query error breakdown for IAM, plus a
+//! per-phase wall-time breakdown (reduction fit vs. training vs. inference)
+//! collected through `iam_obs` spans.
 use iam_bench::{BenchScale, SingleTableExperiment};
 use iam_core::IamEstimator;
 use iam_data::synth::Dataset;
 use iam_data::{q_error, SelectivityEstimator};
 
 fn main() {
+    iam_obs::span::enable();
     let scale = BenchScale {
         rows: 16000,
         queries: 80,
@@ -51,5 +54,17 @@ fn main() {
     println!("mean {:.2}  median {:.2}  max {:.1}", mean, rows[rows.len() / 2].0, rows[0].0);
     for r in rows.iter().take(10) {
         println!("qerr {:8.1}  truth {:.6} est {:.6}  {}", r.0, r.2, r.3, r.1);
+    }
+
+    println!("--- phase breakdown (self-time µs, folded-stack paths) ---");
+    for (path, agg) in iam_obs::span::report() {
+        println!(
+            "{:>10}µs self {:>10}µs total {:>6} calls  {}",
+            agg.self_us, agg.total_us, agg.count, path
+        );
+    }
+    if args.iter().any(|a| a == "folded") {
+        // pipe into flamegraph.pl / speedscope
+        print!("{}", iam_obs::span::folded_stacks());
     }
 }

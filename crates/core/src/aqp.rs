@@ -67,6 +67,7 @@ impl IamEstimator {
         target_col: usize,
         nrows: usize,
     ) -> AggregateEstimate {
+        crate::probes::aqp().queries.inc();
         let plan = match self.schema.query_plan(rq) {
             Some(p) => p,
             None => {
@@ -103,6 +104,7 @@ impl IamEstimator {
     /// full conditional* here, since the aggregate's target column may be
     /// unconstrained).
     fn sample_region(&mut self, plan: &[SlotConstraint], n: usize) -> (Vec<Vec<usize>>, Vec<f64>) {
+        let _span = iam_obs::span!("aqp.sample_region");
         // aggregate sampling must materialise every slot, so replace
         // wildcards with full ranges
         let full_plan: Vec<SlotConstraint> = plan

@@ -38,7 +38,12 @@ impl IamEstimator {
 
     /// Like [`Self::build`] but with an explicit display name.
     pub fn build_named(table: &Table, cfg: IamConfig, name: Option<&str>) -> Self {
-        let schema = IamSchema::build(table, &cfg);
+        let schema = {
+            // reducer fitting (VBGM init + per-column GMM/Hist/Spline/UMM)
+            // is the "reduction fit" phase of the timing breakdown
+            let _span = iam_obs::span!("build.reduce");
+            IamSchema::build(table, &cfg)
+        };
         debug_assert!(train::check_slot_layout(&schema));
         let net = MadeNet::new(MadeConfig {
             domain_sizes: schema.slot_domains.clone(),
@@ -78,6 +83,17 @@ impl IamEstimator {
                 &mut self.gmm_trainers,
                 &self.cfg,
                 &mut self.rng,
+            );
+            iam_obs::trace::event(
+                "train.epoch",
+                &[
+                    ("model", iam_obs::Value::Str(&self.name)),
+                    ("epoch", iam_obs::Value::U64(self.stats.len() as u64 + 1)),
+                    ("ar_loss", iam_obs::Value::F64(s.ar_loss)),
+                    ("gmm_loss", iam_obs::Value::F64(s.gmm_loss)),
+                    ("seconds", iam_obs::Value::F64(s.seconds)),
+                    ("rows_per_sec", iam_obs::Value::F64(s.rows_per_sec())),
+                ],
             );
             self.stats.push(s);
         }

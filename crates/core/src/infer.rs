@@ -23,6 +23,7 @@
 //! each slot — the shared-GEMM amortisation of §5.3 ("Batch Query
 //! Inference", Table 7) is preserved.
 
+use crate::probes;
 use crate::schema::{IamSchema, SlotConstraint};
 use iam_nn::{InferScratch, MadeNet};
 use rand::rngs::StdRng;
@@ -58,6 +59,7 @@ pub fn estimate_batch_seeded(
     scratch: &mut InferScratch,
 ) -> Vec<f64> {
     assert_eq!(plans.len(), seeds.len(), "one seed per query");
+    let _span = iam_obs::span!("infer.progressive_sample");
     let nslots = schema.nslots();
     let sp = samples_per_query.max(1);
     // map live queries to sample-row blocks
@@ -84,6 +86,8 @@ pub fn estimate_batch_seeded(
     let mut logits: Vec<f32> = Vec::new();
     let mut probs: Vec<f32> = Vec::new();
     let mut weighted: Vec<f64> = Vec::new();
+    // local accounting, flushed to the registry once per batch
+    let mut forward_rows = 0u64;
 
     for slot in 0..nslots {
         // which rows need a model forward at this slot?
@@ -103,6 +107,7 @@ pub fn estimate_batch_seeded(
         if gather_rows.is_empty() {
             continue;
         }
+        forward_rows += gather_rows.len() as u64;
         // compact forward over just those rows
         gather_inputs.clear();
         for &row in &gather_rows {
@@ -147,10 +152,32 @@ pub fn estimate_batch_seeded(
         }
     }
 
+    let p = probes::infer();
+    let trace_on = iam_obs::trace::active();
+    let mut dead_samples = 0u64;
     for (li, &q) in live.iter().enumerate() {
         let block = &p_hat[li * sp..(li + 1) * sp];
+        let dead = block.iter().filter(|&&x| x == 0.0).count() as u64;
+        dead_samples += dead;
         results[q] = (block.iter().sum::<f64>() / sp as f64).clamp(0.0, 1.0);
+        p.samples_per_query.observe(sp as u64);
+        p.renorm_mass_ppm.observe((results[q] * 1e6) as u64);
+        if trace_on {
+            iam_obs::trace::event(
+                "infer.query",
+                &[
+                    ("samples", iam_obs::Value::U64(sp as u64)),
+                    ("dead_samples", iam_obs::Value::U64(dead)),
+                    ("estimate", iam_obs::Value::F64(results[q])),
+                    ("seed", iam_obs::Value::U64(seeds[q])),
+                ],
+            );
+        }
     }
+    p.queries.add(live.len() as u64);
+    p.samples.add(rows as u64);
+    p.forward_rows.add(forward_rows);
+    p.dead_samples.add(dead_samples);
     results
 }
 

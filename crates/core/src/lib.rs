@@ -18,6 +18,11 @@
 //!   Neurocard-style AR baseline (column factorisation, no reduction);
 //! * [`aqp`] — AVG/SUM/COUNT aggregate estimation over predicate regions
 //!   (the paper's stated future-work extension).
+//!
+//! Training, planning and inference are instrumented with `iam-obs` probes
+//! (`iam_train_*` / `iam_plan_*` / `iam_infer_*` in the global registry,
+//! `train.epoch` / `infer.progressive_sample` spans, JSONL trace events) —
+//! see the README's "Observability" section.
 
 #![deny(missing_docs)]
 
@@ -26,6 +31,7 @@ pub mod config;
 pub mod estimator;
 pub mod infer;
 pub mod persist;
+mod probes;
 pub mod reduce;
 pub mod schema;
 pub mod train;

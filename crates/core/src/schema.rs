@@ -228,6 +228,14 @@ impl IamSchema {
     /// Returns `None` when some constrained column provably selects nothing
     /// (e.g. an empty ordinal range), in which case the selectivity is 0.
     pub fn query_plan(&self, rq: &RangeQuery) -> Option<Vec<SlotConstraint>> {
+        let plan = self.query_plan_inner(rq);
+        if plan.is_none() {
+            crate::probes::plan().empty_plans.inc();
+        }
+        plan
+    }
+
+    fn query_plan_inner(&self, rq: &RangeQuery) -> Option<Vec<SlotConstraint>> {
         assert_eq!(rq.cols.len(), self.handlers.len(), "query arity mismatch");
         let mut plan = Vec::with_capacity(self.nslots());
         for (col, h) in self.handlers.iter().enumerate() {
@@ -253,6 +261,11 @@ impl IamSchema {
                                 *x = f64::from(u8::from(*x > 0.01));
                             }
                         }
+                        // §5.1 widening: the slot's support becomes the full
+                        // reduced domain, re-weighted by P̂_GMM(R_i)
+                        let p = crate::probes::plan();
+                        p.widened_fanout.observe(w.len() as u64);
+                        p.component_nnz.observe(w.iter().filter(|&&x| x > 1e-12).count() as u64);
                         plan.push(SlotConstraint::Weights(w));
                     }
                 },

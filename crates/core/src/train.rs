@@ -8,6 +8,7 @@
 //! input columns per tuple (Naru §5.3), leaving targets intact.
 
 use crate::config::IamConfig;
+use crate::probes;
 use crate::schema::{ColumnHandler, IamSchema, SlotRole};
 use iam_data::{Column, Table};
 use iam_gmm::{GmmSgdTrainer, SgdConfig};
@@ -25,12 +26,24 @@ pub struct EpochStats {
     pub gmm_loss: f64,
     /// Wall-clock seconds for the epoch.
     pub seconds: f64,
+    /// Rows visited this epoch.
+    pub rows: usize,
 }
 
 impl EpochStats {
     /// Total joint loss (Eq. 6).
     pub fn total(&self) -> f64 {
         self.ar_loss + self.gmm_loss
+    }
+
+    /// Training throughput (rows/s), 0 when the epoch took no measurable
+    /// time.
+    pub fn rows_per_sec(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.rows as f64 / self.seconds
+        } else {
+            0.0
+        }
     }
 }
 
@@ -45,6 +58,7 @@ pub fn train_epoch(
     cfg: &IamConfig,
     rng: &mut StdRng,
 ) -> EpochStats {
+    let _span = iam_obs::span!("train.epoch");
     let started = std::time::Instant::now();
     let n = table.nrows();
     let ncols = table.ncols();
@@ -72,6 +86,7 @@ pub fn train_epoch(
     for chunk in order.chunks(bs) {
         // 1) GMM gradient step per reduced column (joint training)
         if cfg.joint_training {
+            let _span = iam_obs::span!("train.gmm_step");
             for (col, trainer) in gmm_trainers.iter_mut().enumerate() {
                 let Some(trainer) = trainer else { continue };
                 let Column::Continuous(cc) = &table.columns[col] else { continue };
@@ -87,6 +102,7 @@ pub fn train_epoch(
         }
 
         // 2) encode the batch with the current reducers
+        let encode_span = iam_obs::span!("train.encode");
         targets.clear();
         inputs.clear();
         for &r in chunk {
@@ -111,7 +127,10 @@ pub fn train_epoch(
             inputs.extend_from_slice(&slot_vals);
         }
 
+        drop(encode_span);
+
         // 3) AR step
+        let _span = iam_obs::span!("train.ar_step");
         ar_loss_sum += net.train_batch(&inputs, &targets, chunk.len()) as f64;
         opt.step(net);
         batches += 1;
@@ -124,11 +143,21 @@ pub fn train_epoch(
         }
     }
 
-    EpochStats {
+    let stats = EpochStats {
         ar_loss: ar_loss_sum / batches.max(1) as f64,
         gmm_loss: gmm_loss_sum / batches.max(1) as f64,
         seconds: started.elapsed().as_secs_f64(),
-    }
+        rows: n,
+    };
+    let p = probes::train();
+    p.epochs.inc();
+    p.rows.add(n as u64);
+    p.batches.add(batches as u64);
+    p.ar_loss.set(stats.ar_loss);
+    p.gmm_loss.set(stats.gmm_loss);
+    p.rows_per_sec.set(stats.rows_per_sec());
+    p.epoch_ms.observe((stats.seconds * 1000.0) as u64);
+    stats
 }
 
 /// Create the per-column GMM trainers for joint training (only columns whose

@@ -232,7 +232,7 @@ impl MadeNet {
     ///
     /// `inputs` is row-major `batch × ncols` of encoded values; a value equal
     /// to `mask_token(col)` feeds the MASK embedding. When `cache` is true,
-    /// activations are retained for a subsequent [`Self::backward`].
+    /// activations are retained for a subsequent backward pass.
     pub fn forward(&mut self, inputs: &[usize], batch: usize, cache: bool, out: &mut Vec<f32>) {
         assert_eq!(inputs.len(), batch * self.ncols());
         self.embed(inputs, batch, cache);

@@ -1,0 +1,243 @@
+//! JSONL trace events: a process-wide sink that instrumented code writes
+//! one JSON object per line into.
+//!
+//! Like spans, the sink is **off until installed** — [`event`] is a single
+//! relaxed atomic load when no sink is active, so leaving trace calls in
+//! hot paths costs nothing in production. Install a file sink with
+//! [`install_file`], or any `Write + Send` (tests use [`SharedBuf`]) with
+//! [`install_writer`]; [`uninstall`] flushes and removes it.
+//!
+//! ```text
+//! {"event":"train.epoch","ts_ms":1754500000123,"epoch":3,"ar_loss":1.91,…}
+//! {"event":"infer.query","ts_ms":1754500000345,"samples":512,"estimate":0.013,…}
+//! ```
+
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static SINK: Mutex<Option<Box<dyn Write + Send>>> = Mutex::new(None);
+
+/// A typed field value for [`event`].
+#[derive(Debug, Clone, Copy)]
+pub enum Value<'a> {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (non-finite values serialize as `null`).
+    F64(f64),
+    /// String (JSON-escaped).
+    Str(&'a str),
+    /// Boolean.
+    Bool(bool),
+}
+
+/// Is a trace sink currently installed? Callers assembling expensive event
+/// payloads should check this first.
+#[inline]
+pub fn active() -> bool {
+    ACTIVE.load(Relaxed)
+}
+
+/// Install a buffered file sink at `path` (truncates an existing file).
+pub fn install_file<P: AsRef<Path>>(path: P) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    install_writer(Box::new(BufWriter::new(f)));
+    Ok(())
+}
+
+/// Install an arbitrary sink (replacing — and flushing — any previous one).
+pub fn install_writer(w: Box<dyn Write + Send>) {
+    let mut sink = SINK.lock().expect("trace sink poisoned");
+    if let Some(mut old) = sink.take() {
+        let _ = old.flush();
+    }
+    *sink = Some(w);
+    ACTIVE.store(true, Relaxed);
+}
+
+/// Flush and remove the sink; subsequent [`event`] calls are no-ops.
+pub fn uninstall() {
+    ACTIVE.store(false, Relaxed);
+    let mut sink = SINK.lock().expect("trace sink poisoned");
+    if let Some(mut old) = sink.take() {
+        let _ = old.flush();
+    }
+}
+
+/// Flush the sink without removing it (e.g. before reading the file).
+pub fn flush() {
+    if let Some(w) = SINK.lock().expect("trace sink poisoned").as_mut() {
+        let _ = w.flush();
+    }
+}
+
+/// Emit one event line: `{"event":name,"ts_ms":…,fields…}`. A no-op
+/// without an installed sink; write errors silently drop the event (tracing
+/// must never take down the traced system).
+pub fn event(name: &str, fields: &[(&str, Value)]) {
+    if !active() {
+        return;
+    }
+    let ts_ms = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis()).unwrap_or(0);
+    let mut line = String::with_capacity(64 + fields.len() * 24);
+    line.push_str("{\"event\":\"");
+    line.push_str(&json_escape(name));
+    line.push_str("\",\"ts_ms\":");
+    line.push_str(&ts_ms.to_string());
+    for (k, v) in fields {
+        line.push_str(",\"");
+        line.push_str(&json_escape(k));
+        line.push_str("\":");
+        match v {
+            Value::U64(n) => line.push_str(&n.to_string()),
+            Value::I64(n) => line.push_str(&n.to_string()),
+            Value::F64(x) if x.is_finite() => line.push_str(&format!("{x}")),
+            Value::F64(_) => line.push_str("null"),
+            Value::Str(s) => {
+                line.push('"');
+                line.push_str(&json_escape(s));
+                line.push('"');
+            }
+            Value::Bool(b) => line.push_str(if *b { "true" } else { "false" }),
+        }
+    }
+    line.push_str("}\n");
+    if let Some(w) = SINK.lock().expect("trace sink poisoned").as_mut() {
+        let _ = w.write_all(line.as_bytes());
+    }
+}
+
+/// Append a full registry snapshot as one
+/// `{"event":"registry.snapshot",…}` line.
+pub fn snapshot_registry(registry: &crate::Registry) {
+    if !active() {
+        return;
+    }
+    let ts_ms = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis()).unwrap_or(0);
+    let json = registry.render_json();
+    // splice the snapshot body into the event envelope: {"event":…,BODY…}
+    let body = json.strip_prefix('{').unwrap_or(&json);
+    let line = format!("{{\"event\":\"registry.snapshot\",\"ts_ms\":{ts_ms},{body}\n");
+    if let Some(w) = SINK.lock().expect("trace sink poisoned").as_mut() {
+        let _ = w.write_all(line.as_bytes());
+    }
+}
+
+/// Escape a string for inclusion inside a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A cloneable in-memory sink for tests and demos: install with
+/// `install_writer(Box::new(buf.clone()))`, then read back via
+/// [`SharedBuf::contents`].
+#[derive(Clone, Default)]
+pub struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    /// An empty shared buffer.
+    pub fn new() -> Self {
+        SharedBuf::default()
+    }
+
+    /// Everything written so far, lossily decoded.
+    pub fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.0.lock().expect("shared buf poisoned")).into_owned()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.lock().expect("shared buf poisoned").extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // trace tests share the process-global sink; serialize them
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn events_are_json_lines() {
+        let _s = serial();
+        let buf = SharedBuf::new();
+        install_writer(Box::new(buf.clone()));
+        event(
+            "test.event",
+            &[
+                ("n", Value::U64(7)),
+                ("loss", Value::F64(1.25)),
+                ("bad", Value::F64(f64::NAN)),
+                ("who", Value::Str("a\"b")),
+                ("ok", Value::Bool(true)),
+            ],
+        );
+        uninstall();
+        let out = buf.contents();
+        assert_eq!(out.lines().count(), 1);
+        let line = out.lines().next().unwrap();
+        assert!(line.starts_with("{\"event\":\"test.event\",\"ts_ms\":"), "{line}");
+        assert!(line.contains("\"n\":7"));
+        assert!(line.contains("\"loss\":1.25"));
+        assert!(line.contains("\"bad\":null"));
+        assert!(line.contains("\"who\":\"a\\\"b\""));
+        assert!(line.contains("\"ok\":true"));
+        assert!(line.ends_with('}'));
+    }
+
+    #[test]
+    fn inactive_sink_drops_events() {
+        let _s = serial();
+        uninstall();
+        assert!(!active());
+        event("ignored", &[]); // must not panic, must not write anywhere
+    }
+
+    #[test]
+    fn registry_snapshot_event_wraps_registry_json() {
+        let _s = serial();
+        let buf = SharedBuf::new();
+        install_writer(Box::new(buf.clone()));
+        let r = crate::Registry::new();
+        r.counter("iam_snap_total", &[]).add(4);
+        snapshot_registry(&r);
+        uninstall();
+        let out = buf.contents();
+        assert_eq!(out.lines().count(), 1);
+        assert!(out.contains("\"event\":\"registry.snapshot\""));
+        assert!(out.contains("\"iam_snap_total\":4"), "{out}");
+    }
+
+    #[test]
+    fn escape_handles_control_chars() {
+        assert_eq!(json_escape("a\nb\t\"c\\"), "a\\nb\\t\\\"c\\\\");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,11 +1,15 @@
-//! Lock-free service metrics: atomic counters, a queue-depth gauge, and
-//! fixed-bucket histograms for end-to-end latency and batch sizes.
+//! Service metrics: a thin facade over the [`iam_obs`] registry.
 //!
-//! Everything is written with relaxed atomics on the hot path; a
-//! [`Metrics::snapshot`] reads a consistent-enough view for reporting
-//! (counters may be mid-update, which is fine for monitoring).
+//! Every instrument lives in a **per-service** [`iam_obs::Registry`] (so two
+//! services in one process — common in tests — never share counters), with
+//! the handles cached here so the hot path is a relaxed atomic op, never a
+//! registry lookup. [`Metrics::snapshot`] keeps the historical plain-text
+//! `STATS` view; [`Metrics::render_prometheus`] adds Prometheus text
+//! exposition covering this service *and* the process-global registry where
+//! the `iam-core` training/inference probes report.
 
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
+use iam_obs::{Counter, Gauge, Histogram, Registry};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Upper bucket bounds for request latency, in microseconds. The last
@@ -32,70 +36,19 @@ const LATENCY_BOUNDS_US: [u64; 15] = [
 /// call). The last bucket is a catch-all.
 const BATCH_BOUNDS: [u64; 9] = [1, 2, 4, 8, 16, 32, 64, 128, u64::MAX];
 
-/// A fixed-bucket histogram of `u64` observations.
-struct Histogram<const N: usize> {
-    bounds: [u64; N],
-    counts: [AtomicU64; N],
-    sum: AtomicU64,
-    max: AtomicU64,
-}
-
-impl<const N: usize> Histogram<N> {
-    fn new(bounds: [u64; N]) -> Self {
-        Histogram {
-            bounds,
-            counts: std::array::from_fn(|_| AtomicU64::new(0)),
-            sum: AtomicU64::new(0),
-            max: AtomicU64::new(0),
-        }
-    }
-
-    fn record(&self, v: u64) {
-        let idx = self.bounds.iter().position(|&b| v <= b).unwrap_or(N - 1);
-        self.counts[idx].fetch_add(1, Relaxed);
-        self.sum.fetch_add(v, Relaxed);
-        self.max.fetch_max(v, Relaxed);
-    }
-
-    fn load(&self) -> ([u64; N], u64, u64) {
-        (
-            std::array::from_fn(|i| self.counts[i].load(Relaxed)),
-            self.sum.load(Relaxed),
-            self.max.load(Relaxed),
-        )
-    }
-}
-
-/// Estimate the `q`-quantile (0..=1) from bucket counts: returns the upper
-/// bound of the first bucket whose cumulative count reaches the rank.
-fn percentile<const N: usize>(bounds: &[u64; N], counts: &[u64; N], q: f64) -> u64 {
-    let total: u64 = counts.iter().sum();
-    if total == 0 {
-        return 0;
-    }
-    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
-    let mut cum = 0;
-    for i in 0..N {
-        cum += counts[i];
-        if cum >= rank {
-            return bounds[i];
-        }
-    }
-    bounds[N - 1]
-}
-
 /// Shared, thread-safe service metrics. All mutators take `&self`.
 pub struct Metrics {
-    requests: AtomicU64,
-    overloaded: AtomicU64,
-    timeouts: AtomicU64,
-    bad_queries: AtomicU64,
-    batches: AtomicU64,
-    batched_queries: AtomicU64,
-    model_swaps: AtomicU64,
-    queue_depth: AtomicI64,
-    latency_us: Histogram<15>,
-    batch_size: Histogram<9>,
+    registry: Registry,
+    requests: Arc<Counter>,
+    overloaded: Arc<Counter>,
+    timeouts: Arc<Counter>,
+    bad_queries: Arc<Counter>,
+    batches: Arc<Counter>,
+    batched_queries: Arc<Counter>,
+    model_swaps: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    latency_us: Arc<Histogram>,
+    batch_size: Arc<Histogram>,
 }
 
 impl Default for Metrics {
@@ -105,99 +58,123 @@ impl Default for Metrics {
 }
 
 impl Metrics {
-    /// Fresh, all-zero metrics.
+    /// Fresh, all-zero metrics backed by a private registry.
     pub fn new() -> Self {
+        let registry = Registry::new();
+        let requests = registry.counter("iam_serve_requests_total", &[]);
+        let overloaded = registry.counter("iam_serve_rejected_overloaded_total", &[]);
+        let timeouts = registry.counter("iam_serve_timeouts_total", &[]);
+        let bad_queries = registry.counter("iam_serve_bad_queries_total", &[]);
+        let batches = registry.counter("iam_serve_batches_total", &[]);
+        let batched_queries = registry.counter("iam_serve_batched_queries_total", &[]);
+        let model_swaps = registry.counter("iam_serve_model_swaps_total", &[]);
+        let queue_depth = registry.gauge("iam_serve_queue_depth", &[]);
+        let latency_us = registry.histogram("iam_serve_latency_us", &[], &LATENCY_BOUNDS_US);
+        let batch_size = registry.histogram("iam_serve_batch_size", &[], &BATCH_BOUNDS);
         Metrics {
-            requests: AtomicU64::new(0),
-            overloaded: AtomicU64::new(0),
-            timeouts: AtomicU64::new(0),
-            bad_queries: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            batched_queries: AtomicU64::new(0),
-            model_swaps: AtomicU64::new(0),
-            queue_depth: AtomicI64::new(0),
-            latency_us: Histogram::new(LATENCY_BOUNDS_US),
-            batch_size: Histogram::new(BATCH_BOUNDS),
+            registry,
+            requests,
+            overloaded,
+            timeouts,
+            bad_queries,
+            batches,
+            batched_queries,
+            model_swaps,
+            queue_depth,
+            latency_us,
+            batch_size,
         }
+    }
+
+    /// The registry backing this service's instruments.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// Count a client request (before any queue/cache interaction).
     pub fn request(&self) {
-        self.requests.fetch_add(1, Relaxed);
+        self.requests.inc();
     }
 
     /// Count a rejected submission (queue full).
     pub fn overloaded(&self) {
-        self.overloaded.fetch_add(1, Relaxed);
+        self.overloaded.inc();
     }
 
     /// Count a request that expired before a reply.
     pub fn timeout(&self) {
-        self.timeouts.fetch_add(1, Relaxed);
+        self.timeouts.inc();
     }
 
     /// Count a malformed query.
     pub fn bad_query(&self) {
-        self.bad_queries.fetch_add(1, Relaxed);
+        self.bad_queries.inc();
     }
 
     /// Count a model hot-swap (or rollback).
     pub fn model_swap(&self) {
-        self.model_swaps.fetch_add(1, Relaxed);
+        self.model_swaps.inc();
     }
 
     /// A request entered the queue.
     pub fn enqueued(&self) {
-        self.queue_depth.fetch_add(1, Relaxed);
+        self.queue_depth.add(1);
     }
 
     /// `n` requests left the queue (coalesced into one batch).
     pub fn dequeued(&self, n: usize) {
-        self.queue_depth.fetch_sub(n as i64, Relaxed);
+        self.queue_depth.sub(n as i64);
     }
 
     /// Record one coalesced inference batch: `requests` replies produced by
     /// `distinct` model evaluations (duplicates are answered once).
     pub fn batch(&self, requests: usize, distinct: usize) {
-        self.batches.fetch_add(1, Relaxed);
-        self.batched_queries.fetch_add(distinct as u64, Relaxed);
-        self.batch_size.record(requests as u64);
+        self.batches.inc();
+        self.batched_queries.add(distinct as u64);
+        self.batch_size.observe(requests as u64);
     }
 
     /// Record an end-to-end request latency.
     pub fn latency(&self, d: Duration) {
-        self.latency_us.record(d.as_micros().min(u64::MAX as u128) as u64);
+        self.latency_us.observe(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Prometheus text exposition of this service's registry, the cache's
+    /// hit/miss accounting (the cache keeps its own counters), and the
+    /// process-global registry (training/inference probes).
+    pub fn render_prometheus(&self, cache_hits: u64, cache_misses: u64) -> String {
+        let mut out = self.registry.render_prometheus();
+        out.push_str("# TYPE iam_serve_cache_hits_total counter\n");
+        out.push_str(&format!("iam_serve_cache_hits_total {cache_hits}\n"));
+        out.push_str("# TYPE iam_serve_cache_misses_total counter\n");
+        out.push_str(&format!("iam_serve_cache_misses_total {cache_misses}\n"));
+        out.push_str(&Registry::global().render_prometheus());
+        out
     }
 
     /// Capture a point-in-time view of every counter and histogram.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let (lat_counts, _lat_sum, lat_max) = self.latency_us.load();
-        let (bat_counts, bat_sum, bat_max) = self.batch_size.load();
-        let lat_total: u64 = lat_counts.iter().sum();
-        let bat_total: u64 = bat_counts.iter().sum();
+        let lat = self.latency_us.snapshot();
+        let bat = self.batch_size.snapshot();
         MetricsSnapshot {
-            requests: self.requests.load(Relaxed),
+            requests: self.requests.get(),
             cache_hits: 0,
             cache_misses: 0,
-            overloaded: self.overloaded.load(Relaxed),
-            timeouts: self.timeouts.load(Relaxed),
-            bad_queries: self.bad_queries.load(Relaxed),
-            batches: self.batches.load(Relaxed),
-            batched_queries: self.batched_queries.load(Relaxed),
-            queue_depth: self.queue_depth.load(Relaxed).max(0),
-            model_swaps: self.model_swaps.load(Relaxed),
-            replies: lat_total,
-            latency_p50_us: percentile(&LATENCY_BOUNDS_US, &lat_counts, 0.50),
-            latency_p95_us: percentile(&LATENCY_BOUNDS_US, &lat_counts, 0.95),
-            latency_p99_us: percentile(&LATENCY_BOUNDS_US, &lat_counts, 0.99),
-            latency_max_us: lat_max,
-            mean_batch: if bat_total == 0 { 0.0 } else { bat_sum as f64 / bat_total as f64 },
-            max_batch: bat_max,
-            batch_buckets: BATCH_BOUNDS
-                .iter()
-                .zip(bat_counts.iter())
-                .map(|(&b, &c)| (b, c))
-                .collect(),
+            overloaded: self.overloaded.get(),
+            timeouts: self.timeouts.get(),
+            bad_queries: self.bad_queries.get(),
+            batches: self.batches.get(),
+            batched_queries: self.batched_queries.get(),
+            queue_depth: self.queue_depth.get().max(0),
+            model_swaps: self.model_swaps.get(),
+            replies: lat.count(),
+            latency_p50_us: lat.quantile(0.50),
+            latency_p95_us: lat.quantile(0.95),
+            latency_p99_us: lat.quantile(0.99),
+            latency_max_us: lat.max,
+            mean_batch: bat.mean(),
+            max_batch: bat.max,
+            batch_buckets: bat.bounds.iter().zip(&bat.counts).map(|(&b, &c)| (b, c)).collect(),
         }
     }
 }
@@ -358,5 +335,35 @@ mod tests {
         let s = Metrics::new().snapshot();
         assert_eq!(s.latency_p50_us, 0);
         assert_eq!(s.latency_p99_us, 0);
+    }
+
+    #[test]
+    fn services_do_not_share_instruments() {
+        let a = Metrics::new();
+        let b = Metrics::new();
+        a.request();
+        a.request();
+        b.request();
+        assert_eq!(a.snapshot().requests, 2);
+        assert_eq!(b.snapshot().requests, 1);
+    }
+
+    #[test]
+    fn prometheus_exposition_covers_service_and_cache() {
+        let m = Metrics::new();
+        m.request();
+        m.batch(4, 4);
+        m.latency(Duration::from_micros(120));
+        let prom = m.render_prometheus(7, 3);
+        assert!(prom.contains("# TYPE iam_serve_requests_total counter"), "{prom}");
+        assert!(prom.contains("iam_serve_requests_total 1"), "{prom}");
+        assert!(prom.contains("iam_serve_cache_hits_total 7"), "{prom}");
+        assert!(prom.contains("iam_serve_cache_misses_total 3"), "{prom}");
+        // histogram catch-alls render as +Inf, never a raw u64::MAX
+        assert!(prom.contains("iam_serve_latency_us_bucket{le=\"+Inf\"} 1"), "{prom}");
+        assert!(!prom.contains(&u64::MAX.to_string()), "{prom}");
+        // snapshot totals agree with the exposition
+        assert!(prom.contains("iam_serve_batch_size_sum 4"), "{prom}");
+        assert!(prom.contains("iam_serve_batch_size_count 1"), "{prom}");
     }
 }

@@ -13,6 +13,11 @@
 //! ← requests_total 42
 //! ← …
 //! ← END
+//! → STATS PROM                # same, Prometheus text exposition
+//! ← # TYPE iam_serve_requests_total counter
+//! ← iam_serve_requests_total 42
+//! ← …
+//! ← END
 //! → QUIT                      # close the connection
 //! ```
 //!
@@ -138,6 +143,10 @@ fn handle_connection(stream: TcpStream, client: &Client) -> io::Result<()> {
             "QUIT" => break,
             "STATS" => {
                 out.write_all(client.metrics().render().as_bytes())?;
+                out.write_all(b"END\n")?;
+            }
+            "STATS PROM" => {
+                out.write_all(client.metrics_prometheus().as_bytes())?;
                 out.write_all(b"END\n")?;
             }
             "VERSION" => {

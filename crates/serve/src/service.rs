@@ -107,6 +107,13 @@ impl ServiceInner {
         s.cache_misses = misses;
         s
     }
+
+    /// Prometheus exposition: service registry + cache accounting + the
+    /// process-global registry (core training/inference probes).
+    fn prometheus(&self) -> String {
+        let (hits, misses) = self.cache.stats();
+        self.metrics.render_prometheus(hits, misses)
+    }
 }
 
 /// A running estimation service. Dropping it without calling
@@ -184,6 +191,12 @@ impl Service {
     /// Point-in-time metrics (cache accounting included).
     pub fn metrics(&self) -> MetricsSnapshot {
         self.inner.snapshot()
+    }
+
+    /// Prometheus text exposition of the service's metrics (plus the
+    /// process-global training/inference probes).
+    pub fn metrics_prometheus(&self) -> String {
+        self.inner.prometheus()
     }
 
     /// Stop accepting requests, drain everything already queued, join the
@@ -273,6 +286,12 @@ impl Client {
     /// Point-in-time metrics (cache accounting included).
     pub fn metrics(&self) -> MetricsSnapshot {
         self.inner.snapshot()
+    }
+
+    /// Prometheus text exposition of the service's metrics (plus the
+    /// process-global training/inference probes).
+    pub fn metrics_prometheus(&self) -> String {
+        self.inner.prometheus()
     }
 }
 

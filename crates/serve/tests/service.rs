@@ -249,6 +249,74 @@ fn wrong_arity_is_a_bad_query() {
     assert_eq!(snap.bad_queries, 1);
 }
 
+/// Pull one `series value` sample out of a Prometheus text exposition.
+fn prom_value(prom: &str, series: &str) -> u64 {
+    prom.lines()
+        .find_map(|l| l.strip_prefix(series).and_then(|r| r.strip_prefix(' ')))
+        .unwrap_or_else(|| panic!("series {series} missing from exposition:\n{prom}"))
+        .parse()
+        .unwrap_or_else(|_| panic!("series {series} is not a u64"))
+}
+
+/// After a concurrent run, STATS totals must equal the sum of per-worker
+/// observations, and the Prometheus exposition must agree with the plain
+/// snapshot series for series.
+#[test]
+fn concurrent_totals_consistent_across_expositions() {
+    let service = Service::start(
+        tiny_model(9),
+        "v1",
+        // cache off so every reply flows through the queue + batcher
+        ServeConfig { workers: 2, cache_capacity: 0, ..ServeConfig::default() },
+    );
+    let queries = workload(9, 10);
+
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 10;
+    let per_thread_ok: Vec<usize> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let client = service.client();
+                let queries = &queries;
+                s.spawn(move || {
+                    let mut ok = 0usize;
+                    for i in 0..PER_THREAD {
+                        if client.estimate(&queries[(i + t) % queries.len()]).is_ok() {
+                            ok += 1;
+                        }
+                    }
+                    ok
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let total_ok: u64 = per_thread_ok.iter().map(|&n| n as u64).sum();
+
+    // keep a client so the exposition can be rendered after the workers
+    // have been joined (metrics are flushed by then, not merely racing)
+    let client = service.client();
+    let snap = service.shutdown();
+    let prom = client.metrics_prometheus();
+
+    assert_eq!(snap.requests, (THREADS * PER_THREAD) as u64);
+    assert_eq!(snap.timeouts, 0, "{snap:?}");
+    assert_eq!(snap.overloaded, 0, "{snap:?}");
+    // the service's totals are exactly the sum of what the client threads saw
+    assert_eq!(snap.replies, total_ok);
+
+    // the Prometheus view and the STATS snapshot agree sample for sample
+    assert_eq!(prom_value(&prom, "iam_serve_requests_total"), snap.requests);
+    assert_eq!(prom_value(&prom, "iam_serve_latency_us_count"), snap.replies);
+    assert_eq!(prom_value(&prom, "iam_serve_batches_total"), snap.batches);
+    assert_eq!(prom_value(&prom, "iam_serve_batched_queries_total"), snap.batched_queries);
+    // with the cache off, every reply was coalesced into some batch
+    assert_eq!(prom_value(&prom, "iam_serve_batch_size_sum"), snap.replies);
+    // the exposition also carries the process-global inference probes,
+    // which other tests in this binary advance too — so only a lower bound
+    assert!(prom_value(&prom, "iam_infer_queries_total") >= snap.batched_queries, "{prom}");
+}
+
 /// End-to-end over TCP: queries, VERSION, STATS, error replies, QUIT.
 #[test]
 fn tcp_frontend_serves_line_protocol() {
@@ -299,6 +367,19 @@ fn tcp_frontend_serves_line_protocol() {
         stats.iter().any(|l| l == "cache_hits 1"),
         "second query should have hit the cache: {stats:?}"
     );
+
+    write("STATS PROM");
+    let mut prom = Vec::new();
+    loop {
+        let l = read_line();
+        if l == "END" {
+            break;
+        }
+        prom.push(l);
+    }
+    assert!(prom.contains(&"# TYPE iam_serve_requests_total counter".to_string()), "{prom:?}");
+    assert!(prom.iter().any(|l| l == "iam_serve_cache_hits_total 1"), "{prom:?}");
+    assert!(prom.iter().any(|l| l.starts_with("iam_serve_latency_us_bucket{le=\"+Inf\"}")));
 
     write("QUIT");
     frontend.stop();

@@ -1,0 +1,86 @@
+//! Observability demo: train a small IAM model with full instrumentation
+//! on, estimate a workload, and dump every signal `iam-obs` collects:
+//!
+//! - `target/obs/trace.jsonl` — per-epoch `train.epoch` events (AR
+//!   cross-entropy, GMM NLL, rows/s), per-query `infer.query` events
+//!   (samples drawn, dead samples, estimate), and a final
+//!   `registry.snapshot` line.
+//! - `target/obs/metrics.prom` — Prometheus text exposition of the global
+//!   registry (training/inference counters, histograms, span timings).
+//! - `target/obs/spans.folded` — folded stacks for `flamegraph.pl` or
+//!   speedscope.
+//!
+//! ```sh
+//! cargo run --release --example obs_demo
+//! ```
+//!
+//! The demo ends by cross-checking the three outputs against each other:
+//! trace events, the Prometheus dump, and the in-process counters must all
+//! tell the same story.
+
+use iam_core::{IamConfig, IamEstimator};
+use iam_data::synth::Dataset;
+use iam_data::{SelectivityEstimator, WorkloadConfig, WorkloadGenerator};
+
+const EPOCHS: usize = 3;
+const QUERIES: usize = 16;
+const SAMPLES: usize = 256;
+
+fn main() {
+    let out = std::path::Path::new("target/obs");
+    std::fs::create_dir_all(out).expect("create target/obs");
+    iam_obs::span::enable();
+    iam_obs::trace::install_file(out.join("trace.jsonl")).expect("open trace sink");
+
+    let table = Dataset::Twi.generate(10_000, 42);
+    let cfg = IamConfig { epochs: EPOCHS, samples: SAMPLES, ..IamConfig::small() };
+    let mut iam = IamEstimator::fit(&table, cfg);
+
+    let mut gen = WorkloadGenerator::new(&table, WorkloadConfig::default(), 7);
+    for q in gen.gen_queries(QUERIES) {
+        let (rq, _) = q.normalize(table.ncols()).expect("valid query");
+        let _ = iam.estimate(&rq);
+    }
+
+    // close the trace with a full registry snapshot, then dump the other views
+    iam_obs::trace::snapshot_registry(iam_obs::Registry::global());
+    iam_obs::trace::uninstall();
+    let prom = iam_obs::Registry::global().render_prometheus();
+    std::fs::write(out.join("metrics.prom"), &prom).expect("write metrics.prom");
+    std::fs::write(out.join("spans.folded"), iam_obs::span::folded_stacks())
+        .expect("write spans.folded");
+
+    // cross-check: the trace, the Prometheus dump, and the live counters
+    // must agree on how many epochs ran and how many queries were estimated
+    let trace = std::fs::read_to_string(out.join("trace.jsonl")).expect("read trace back");
+    let epoch_events = trace.lines().filter(|l| l.contains("\"event\":\"train.epoch\"")).count();
+    let query_events = trace.lines().filter(|l| l.contains("\"event\":\"infer.query\"")).count();
+    let snapshots = trace.lines().filter(|l| l.contains("\"event\":\"registry.snapshot\"")).count();
+    assert_eq!(epoch_events, EPOCHS, "one train.epoch event per epoch");
+    assert_eq!(query_events, QUERIES, "one infer.query event per estimated query");
+    assert_eq!(snapshots, 1);
+    assert!(
+        trace.contains("\"ar_loss\":") && trace.contains("\"gmm_loss\":"),
+        "per-epoch losses missing from the trace"
+    );
+
+    let prom_sample = |series: &str| -> u64 {
+        prom.lines()
+            .find_map(|l| l.strip_prefix(series).and_then(|r| r.strip_prefix(' ')))
+            .unwrap_or_else(|| panic!("{series} missing from metrics.prom"))
+            .parse()
+            .expect("integer sample")
+    };
+    assert_eq!(prom_sample("iam_train_epochs_total") as usize, EPOCHS);
+    assert_eq!(prom_sample("iam_infer_queries_total") as usize, QUERIES);
+    assert_eq!(prom_sample("iam_infer_samples_total") as usize, QUERIES * SAMPLES);
+
+    println!("wrote {}/trace.jsonl ({} lines)", out.display(), trace.lines().count());
+    println!("wrote {}/metrics.prom ({} samples)", out.display(), prom.lines().count());
+    println!("epochs traced: {epoch_events}, queries traced: {query_events}");
+    println!("per-phase wall time:");
+    for (path, agg) in iam_obs::span::report() {
+        println!("  {:>10}µs total {:>6} calls  {}", agg.total_us, agg.count, path);
+    }
+    println!("all expositions consistent ✓");
+}
