@@ -40,6 +40,22 @@ fn made_forward(c: &mut Criterion) {
     });
 }
 
+fn made_train(c: &mut Criterion) {
+    let mut net = MadeNet::new(MadeConfig {
+        domain_sizes: vec![51, 18, 30, 30, 30],
+        hidden: vec![128, 64, 64, 128],
+        embed_dim: 16,
+        residual: true,
+        seed: 2,
+    });
+    let batch = 256usize;
+    let inputs: Vec<usize> = (0..batch * 5).map(|i| (i * 7) % 18).collect();
+    let targets: Vec<usize> = (0..batch * 5).map(|i| (i * 13) % 18).collect();
+    c.bench_function("made_train_batch_b256_t1", |b| {
+        b.iter(|| black_box(net.train_batch_sharded(black_box(&inputs), &targets, batch, 1)))
+    });
+}
+
 fn iam_inference(c: &mut Criterion) {
     let table = Dataset::Wisdm.generate(5000, 3);
     let cfg = IamConfig { epochs: 2, samples: 256, ..IamConfig::small() };
@@ -57,5 +73,5 @@ fn iam_inference(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, gmm_ops, made_forward, iam_inference);
+criterion_group!(benches, gmm_ops, made_forward, made_train, iam_inference);
 criterion_main!(benches);

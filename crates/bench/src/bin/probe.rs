@@ -14,6 +14,7 @@ fn main() {
         train_queries: 10,
         epochs: 10,
         samples: 512,
+        train_threads: 1,
         seed: 42,
     };
     let exp = SingleTableExperiment::prepare(Dataset::Wisdm, &scale);

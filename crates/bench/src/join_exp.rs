@@ -177,6 +177,7 @@ mod tests {
             train_queries: 20,
             epochs: 1,
             samples: 64,
+            train_threads: 1,
             seed: 3,
         };
         let exp = JoinExperiment::prepare(&scale);

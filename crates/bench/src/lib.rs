@@ -16,6 +16,7 @@
 //! | `IAM_BENCH_TRAINQ`   | 600     | training queries (query-driven)   |
 //! | `IAM_BENCH_EPOCHS`   | 5       | AR training epochs                |
 //! | `IAM_BENCH_SAMPLES`  | 256     | progressive samples per query     |
+//! | `IAM_BENCH_TRAIN_THREADS` | 1  | training workers (0 = per core)   |
 
 #![deny(missing_docs)]
 
@@ -47,6 +48,9 @@ pub struct BenchScale {
     pub epochs: usize,
     /// Progressive samples per query.
     pub samples: usize,
+    /// Training worker threads (0 = one per core). Never changes the
+    /// trained weights, only wall time.
+    pub train_threads: usize,
     /// Base seed.
     pub seed: u64,
 }
@@ -64,6 +68,7 @@ impl BenchScale {
             train_queries: env_usize("IAM_BENCH_TRAINQ", 500),
             epochs: env_usize("IAM_BENCH_EPOCHS", 15),
             samples: env_usize("IAM_BENCH_SAMPLES", 256),
+            train_threads: env_usize("IAM_BENCH_TRAIN_THREADS", 1),
             seed: env_usize("IAM_BENCH_SEED", 42) as u64,
         }
     }
@@ -85,6 +90,7 @@ impl BenchScale {
             factorize_threshold: 256,
             batch_size: 512,
             lr: 5e-3,
+            train_threads: self.train_threads,
             seed: self.seed,
             ..IamConfig::default()
         }
@@ -307,6 +313,7 @@ mod tests {
             train_queries: 30,
             epochs: 1,
             samples: 64,
+            train_threads: 1,
             seed: 1,
         };
         let exp = SingleTableExperiment::prepare(Dataset::Twi, &scale);
@@ -323,6 +330,7 @@ mod tests {
             train_queries: 50,
             epochs: 1,
             samples: 64,
+            train_threads: 1,
             seed: 2,
         };
         let exp = SingleTableExperiment::prepare(Dataset::Higgs, &scale);

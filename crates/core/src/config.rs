@@ -82,6 +82,12 @@ pub struct IamConfig {
     pub samples: usize,
     /// Range-mass computation mode for GMM-reduced columns.
     pub range_mass: RangeMassMode,
+    /// Worker threads for the training pipeline (GMM steps, batch
+    /// encoding, sharded AR backprop). `0` = one per available core. The
+    /// value never changes training results — gradient shards are reduced
+    /// in a fixed order — only wall time (see
+    /// `MadeNet::train_batch_sharded`).
+    pub train_threads: usize,
     /// RNG seed (training shuffles, sampling).
     pub seed: u64,
 }
@@ -105,12 +111,22 @@ impl Default for IamConfig {
             hard_range_weights: false,
             samples: 512,
             range_mass: RangeMassMode::Exact,
+            train_threads: 1,
             seed: 42,
         }
     }
 }
 
 impl IamConfig {
+    /// Resolve [`Self::train_threads`]: `0` means one worker per available
+    /// core, anything else is taken literally.
+    pub fn effective_train_threads(&self) -> usize {
+        match self.train_threads {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            t => t,
+        }
+    }
+
     /// A small fast profile for tests and examples.
     pub fn small() -> Self {
         IamConfig {

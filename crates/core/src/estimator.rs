@@ -196,6 +196,13 @@ impl IamEstimator {
         self.rng = StdRng::seed_from_u64(seed);
     }
 
+    /// Set the training worker-thread count for subsequent
+    /// [`Self::train_epochs`] calls (e.g. a serving-side model refresh).
+    /// Never changes training results — only wall time.
+    pub fn set_train_threads(&mut self, threads: usize) {
+        self.cfg.train_threads = threads;
+    }
+
     /// Number of trainable scalar parameters.
     pub fn num_params(&mut self) -> usize {
         self.net.num_params()

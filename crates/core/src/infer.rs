@@ -224,6 +224,32 @@ pub fn estimate_batch_parallel(
     results
 }
 
+/// Walk a probability window's running sum and return the first index at
+/// which the cumulative mass reaches `u`, never returning a zero-mass
+/// index. Zero entries are skipped outright (adding `0.0` to the
+/// accumulator is exact, so the walk is unchanged for every reachable
+/// index) — boundary draws (`u == 0.0` with leading zeros, or `u` at the
+/// full mass with trailing zeros) used to land on them. When float
+/// round-off leaves `u` beyond the final cumulative sum, the fallback is
+/// the last *nonzero*-probability index: falling back to the window's last
+/// index could select a zero-probability value and condition every later
+/// slot on an impossible prefix. Returns `None` only when every entry is
+/// `<= 0` (callers check the mass first).
+fn pick_in_window(window: impl Iterator<Item = f64>, u: f64) -> Option<usize> {
+    let mut acc = 0.0f64;
+    let mut last_nonzero = None;
+    for (j, p) in window.enumerate() {
+        if p > 0.0 {
+            acc += p;
+            last_nonzero = Some(j);
+            if u <= acc {
+                return Some(j);
+            }
+        }
+    }
+    last_nonzero
+}
+
 /// Renormalise `probs` over `[a, b]`, fold the mass into `p_hat` and draw an
 /// index. Returns `None` (and kills the sample) on zero mass.
 fn sample_range(
@@ -241,14 +267,7 @@ fn sample_range(
     }
     *p_hat *= mass.min(1.0);
     let u = rng.random::<f64>() * mass;
-    let mut acc = 0.0;
-    for (j, &p) in probs[a..=b].iter().enumerate() {
-        acc += p as f64;
-        if u <= acc {
-            return Some(a + j);
-        }
-    }
-    Some(b)
+    pick_in_window(probs[a..=b].iter().map(|&p| p as f64), u).map(|j| a + j)
 }
 
 /// Same, but over an already bias-corrected weight vector (`p_AR × P̂_GMM`).
@@ -260,14 +279,7 @@ fn sample_weighted(weighted: &[f64], p_hat: &mut f64, rng: &mut StdRng) -> Optio
     }
     *p_hat *= mass.min(1.0);
     let u = rng.random::<f64>() * mass;
-    let mut acc = 0.0;
-    for (j, &p) in weighted.iter().enumerate() {
-        acc += p;
-        if u <= acc {
-            return Some(j);
-        }
-    }
-    Some(weighted.len() - 1)
+    pick_in_window(weighted.iter().copied(), u)
 }
 
 #[cfg(test)]
@@ -305,5 +317,51 @@ mod tests {
         assert_eq!(counts[0] + counts[3], 0);
         let frac = counts[2] as f64 / 4000.0;
         assert!((frac - 0.75).abs() < 0.03, "{frac}");
+    }
+
+    #[test]
+    fn roundoff_fallback_lands_on_last_nonzero_index() {
+        // regression: with trailing zero-probability entries, a draw that
+        // round-off pushes past the final cumulative sum used to fall back
+        // to the window's LAST index — a zero-mass value that conditions
+        // every later slot on an impossible prefix. The fallback must be
+        // the last nonzero-probability index instead.
+        let window = [0.3f64, 0.0, 0.4, 0.0, 0.0];
+        let mass: f64 = window.iter().sum();
+        // u strictly above the accumulated mass forces the fallback path
+        let u = mass * (1.0 + 1e-9);
+        assert_eq!(pick_in_window(window.iter().copied(), u), Some(2));
+        // all-zero window: nothing pickable
+        assert_eq!(pick_in_window([0.0f64; 4].iter().copied(), 0.0), None);
+    }
+
+    #[test]
+    fn boundary_draw_skips_leading_zero_mass_entries() {
+        // regression: u == 0.0 satisfied `u <= acc` at the first entry even
+        // when that entry had zero probability
+        let window = [0.0f64, 0.0, 0.6, 0.4];
+        assert_eq!(pick_in_window(window.iter().copied(), 0.0), Some(2));
+    }
+
+    #[test]
+    fn sample_range_never_picks_a_zero_probability_index() {
+        let probs = vec![0.0f32, 0.3, 0.0, 0.7, 0.0];
+        for seed in 0..500 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut p_hat = 1.0;
+            let v = sample_range(&probs, 0, 4, &mut p_hat, &mut rng).unwrap();
+            assert!(probs[v] > 0.0, "seed {seed} picked zero-mass index {v}");
+        }
+    }
+
+    #[test]
+    fn sample_weighted_never_picks_a_zero_weight_index() {
+        let weighted = vec![0.0f64, 1e-12, 0.0, 1e-300, 0.0];
+        for seed in 0..500 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut p_hat = 1.0;
+            let v = sample_weighted(&weighted, &mut p_hat, &mut rng).unwrap();
+            assert!(weighted[v] > 0.0, "seed {seed} picked zero-weight index {v}");
+        }
     }
 }

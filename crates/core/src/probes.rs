@@ -6,7 +6,7 @@
 //! `iam_plan_*` for query-plan construction (§5.1 widening), `iam_infer_*`
 //! for progressive sampling (§5.2), `iam_aqp_*` for aggregates.
 
-use iam_obs::{Counter, FloatGauge, Histogram, Registry};
+use iam_obs::{Counter, FloatGauge, Gauge, Histogram, Registry};
 use std::sync::{Arc, OnceLock};
 
 /// Powers-of-two bounds for count-shaped histograms (samples, fanouts…).
@@ -35,6 +35,14 @@ pub(crate) struct TrainProbes {
     pub rows_per_sec: Arc<FloatGauge>,
     /// Epoch wall-time distribution (ms).
     pub epoch_ms: Arc<Histogram>,
+    /// Effective worker-thread count of the training pipeline.
+    pub threads: Arc<Gauge>,
+    /// Last epoch's wall time in the GMM-step phase (ms).
+    pub gmm_phase_ms: Arc<FloatGauge>,
+    /// Last epoch's wall time in the batch-encoding phase (ms).
+    pub encode_phase_ms: Arc<FloatGauge>,
+    /// Last epoch's wall time in the AR forward/backward phase (ms).
+    pub ar_phase_ms: Arc<FloatGauge>,
 }
 
 pub(crate) fn train() -> &'static TrainProbes {
@@ -49,6 +57,10 @@ pub(crate) fn train() -> &'static TrainProbes {
             gmm_loss: r.float_gauge("iam_train_gmm_loss", &[]),
             rows_per_sec: r.float_gauge("iam_train_rows_per_sec", &[]),
             epoch_ms: r.histogram("iam_train_epoch_ms", &[], &EPOCH_MS_BOUNDS),
+            threads: r.gauge("iam_train_threads", &[]),
+            gmm_phase_ms: r.float_gauge("iam_train_gmm_phase_ms", &[]),
+            encode_phase_ms: r.float_gauge("iam_train_encode_phase_ms", &[]),
+            ar_phase_ms: r.float_gauge("iam_train_ar_phase_ms", &[]),
         }
     })
 }

@@ -6,6 +6,13 @@
 //! takes one Adam step on the AR cross-entropy (`loss_AR`, Eq. 3). The
 //! reported loss is their sum. Wildcard skipping masks a random subset of
 //! input columns per tuple (Naru §5.3), leaving targets intact.
+//!
+//! All three phases run on `cfg.train_threads` workers: GMM steps are
+//! parallel across columns (disjoint trainers/handlers), encoding is
+//! parallel across row ranges (one pre-drawn wildcard seed per row keeps
+//! the masking pattern independent of the sharding), and the AR step uses
+//! `MadeNet::train_batch_sharded`, whose fixed-order shard reduction makes
+//! the trained model bitwise identical for every thread count.
 
 use crate::config::IamConfig;
 use crate::probes;
@@ -14,7 +21,7 @@ use iam_data::{Column, Table};
 use iam_gmm::{GmmSgdTrainer, SgdConfig};
 use iam_nn::{Adam, MadeNet};
 use rand::rngs::StdRng;
-use rand::RngExt;
+use rand::{RngExt, SeedableRng};
 
 /// Per-epoch loss report.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,6 +54,153 @@ impl EpochStats {
     }
 }
 
+/// Per-shard scratch for [`encode_rows`], hoisted out of the row loop so a
+/// shard allocates once per batch instead of once per row.
+#[derive(Default)]
+struct EncodeScratch {
+    row_f64: Vec<f64>,
+    slot_vals: Vec<usize>,
+    cols: Vec<usize>,
+}
+
+/// Encode a slice of table rows into `targets`/`inputs` (each
+/// `rows.len() × nslots`), applying wildcard masking with one dedicated
+/// RNG per row (seeded from `seeds`), so the result depends only on the
+/// row and its seed — never on which shard or thread encoded it.
+#[allow(clippy::too_many_arguments)]
+fn encode_rows(
+    table: &Table,
+    schema: &IamSchema,
+    net: &MadeNet,
+    cfg: &IamConfig,
+    rows: &[usize],
+    seeds: &[u64],
+    targets: &mut [usize],
+    inputs: &mut [usize],
+    scratch: &mut EncodeScratch,
+) {
+    let ncols = table.ncols();
+    let nslots = schema.nslots();
+    for (k, &r) in rows.iter().enumerate() {
+        table.row_as_f64(r, &mut scratch.row_f64);
+        schema.encode_row(&scratch.row_f64, &mut scratch.slot_vals);
+        targets[k * nslots..(k + 1) * nslots].copy_from_slice(&scratch.slot_vals);
+        // wildcard skipping: mask a uniform-size random subset of columns
+        if cfg.wildcard_skipping {
+            let mut wrng = StdRng::seed_from_u64(seeds[k]);
+            let kmask = wrng.random_range(0..=ncols);
+            // choose kmask distinct columns via partial shuffle of col ids
+            scratch.cols.clear();
+            scratch.cols.extend(0..ncols);
+            for i in 0..kmask {
+                let j = wrng.random_range(i..ncols);
+                scratch.cols.swap(i, j);
+            }
+            for (slot, role) in schema.slots.iter().enumerate() {
+                if scratch.cols[..kmask].contains(&role.col()) {
+                    scratch.slot_vals[slot] = net.mask_token(slot);
+                }
+            }
+        }
+        inputs[k * nslots..(k + 1) * nslots].copy_from_slice(&scratch.slot_vals);
+    }
+}
+
+/// Encode one mini-batch, fanned out over `threads` row shards.
+#[allow(clippy::too_many_arguments)]
+fn encode_chunk(
+    table: &Table,
+    schema: &IamSchema,
+    net: &MadeNet,
+    cfg: &IamConfig,
+    chunk: &[usize],
+    seeds: &[u64],
+    targets: &mut [usize],
+    inputs: &mut [usize],
+    threads: usize,
+) {
+    let nslots = schema.nslots();
+    let workers = threads.clamp(1, chunk.len());
+    if workers == 1 {
+        let mut scratch = EncodeScratch::default();
+        encode_rows(table, schema, net, cfg, chunk, seeds, targets, inputs, &mut scratch);
+        return;
+    }
+    let per = chunk.len().div_ceil(workers);
+    std::thread::scope(|s| {
+        for (((rows, seeds), tchunk), ichunk) in chunk
+            .chunks(per)
+            .zip(seeds.chunks(per))
+            .zip(targets.chunks_mut(per * nslots))
+            .zip(inputs.chunks_mut(per * nslots))
+        {
+            s.spawn(move || {
+                let mut scratch = EncodeScratch::default();
+                encode_rows(table, schema, net, cfg, rows, seeds, tchunk, ichunk, &mut scratch);
+            });
+        }
+    });
+}
+
+/// One GMM gradient step per reduced column, fanned out over `threads`
+/// (each column owns a disjoint trainer + handler). Returns the summed
+/// per-column losses, accumulated in ascending column order regardless of
+/// the thread count.
+fn gmm_chunk_step(
+    table: &Table,
+    schema: &mut IamSchema,
+    gmm_trainers: &mut [Option<GmmSgdTrainer>],
+    chunk: &[usize],
+    threads: usize,
+) -> f64 {
+    let mut items: Vec<(usize, &mut GmmSgdTrainer, &mut ColumnHandler)> = gmm_trainers
+        .iter_mut()
+        .zip(schema.handlers.iter_mut())
+        .enumerate()
+        .filter_map(|(col, (t, h))| t.as_mut().map(|t| (col, t, h)))
+        .collect();
+    if items.is_empty() {
+        return 0.0;
+    }
+    let mut losses = vec![0.0f64; items.len()];
+    let step_one =
+        |item: &mut (usize, &mut GmmSgdTrainer, &mut ColumnHandler), raw: &mut Vec<f64>| -> f64 {
+            let (col, trainer, handler) = item;
+            let Column::Continuous(cc) = &table.columns[*col] else { return 0.0 };
+            raw.clear();
+            raw.extend(chunk.iter().map(|&r| cc.values[r]));
+            let loss = trainer.step(raw);
+            if let ColumnHandler::Reduced(red) = &mut **handler {
+                if let Some(g) = red.as_gmm_mut() {
+                    g.set_gmm(trainer.snapshot());
+                }
+            }
+            loss
+        };
+    let workers = threads.clamp(1, items.len());
+    if workers == 1 {
+        let mut raw = Vec::with_capacity(chunk.len());
+        for (item, loss) in items.iter_mut().zip(&mut losses) {
+            *loss = step_one(item, &mut raw);
+        }
+    } else {
+        let per = items.len().div_ceil(workers);
+        std::thread::scope(|s| {
+            for (ichunk, lchunk) in items.chunks_mut(per).zip(losses.chunks_mut(per)) {
+                let step_one = &step_one;
+                s.spawn(move || {
+                    let mut raw = Vec::with_capacity(chunk.len());
+                    for (item, loss) in ichunk.iter_mut().zip(lchunk.iter_mut()) {
+                        *loss = step_one(item, &mut raw);
+                    }
+                });
+            }
+        });
+    }
+    // fixed column order keeps the reported loss deterministic
+    losses.iter().sum()
+}
+
 /// One pass over the table.
 #[allow(clippy::too_many_arguments)]
 pub fn train_epoch(
@@ -61,9 +215,9 @@ pub fn train_epoch(
     let _span = iam_obs::span!("train.epoch");
     let started = std::time::Instant::now();
     let n = table.nrows();
-    let ncols = table.ncols();
     let nslots = schema.nslots();
     assert!(n > 0, "cannot train on an empty table");
+    let threads = cfg.effective_train_threads();
 
     // epoch shuffle
     let mut order: Vec<usize> = (0..n).collect();
@@ -73,66 +227,60 @@ pub fn train_epoch(
     }
 
     let bs = cfg.batch_size.clamp(1, n);
-    let mut raw_batch: Vec<f64> = Vec::with_capacity(bs);
-    let mut row_f64: Vec<f64> = Vec::with_capacity(ncols);
-    let mut slot_vals: Vec<usize> = Vec::with_capacity(nslots);
     let mut targets: Vec<usize> = Vec::with_capacity(bs * nslots);
     let mut inputs: Vec<usize> = Vec::with_capacity(bs * nslots);
+    let mut row_seeds: Vec<u64> = Vec::with_capacity(bs);
 
     let mut ar_loss_sum = 0.0f64;
     let mut gmm_loss_sum = 0.0f64;
     let mut batches = 0usize;
+    let (mut gmm_secs, mut encode_secs, mut ar_secs) = (0.0f64, 0.0f64, 0.0f64);
 
     for chunk in order.chunks(bs) {
         // 1) GMM gradient step per reduced column (joint training)
         if cfg.joint_training {
+            let t0 = std::time::Instant::now();
             let _span = iam_obs::span!("train.gmm_step");
-            for (col, trainer) in gmm_trainers.iter_mut().enumerate() {
-                let Some(trainer) = trainer else { continue };
-                let Column::Continuous(cc) = &table.columns[col] else { continue };
-                raw_batch.clear();
-                raw_batch.extend(chunk.iter().map(|&r| cc.values[r]));
-                gmm_loss_sum += trainer.step(&raw_batch);
-                if let ColumnHandler::Reduced(red) = &mut schema.handlers[col] {
-                    if let Some(g) = red.as_gmm_mut() {
-                        g.set_gmm(trainer.snapshot());
-                    }
-                }
-            }
+            gmm_loss_sum += gmm_chunk_step(table, schema, gmm_trainers, chunk, threads);
+            gmm_secs += t0.elapsed().as_secs_f64();
         }
 
         // 2) encode the batch with the current reducers
-        let encode_span = iam_obs::span!("train.encode");
-        targets.clear();
-        inputs.clear();
-        for &r in chunk {
-            table.row_as_f64(r, &mut row_f64);
-            schema.encode_row(&row_f64, &mut slot_vals);
-            targets.extend_from_slice(&slot_vals);
-            // wildcard skipping: mask a uniform-size random subset of columns
+        let t0 = std::time::Instant::now();
+        {
+            let _span = iam_obs::span!("train.encode");
+            targets.resize(chunk.len() * nslots, 0);
+            inputs.resize(chunk.len() * nslots, 0);
+            // pre-draw one wildcard seed per row on the epoch RNG, in row
+            // order, so the masking pattern is a function of the epoch
+            // stream alone, not of how rows are sharded across workers
+            row_seeds.clear();
+            row_seeds.resize(chunk.len(), 0);
             if cfg.wildcard_skipping {
-                let k = rng.random_range(0..=ncols);
-                // choose k distinct columns via partial shuffle of col ids
-                let mut cols: Vec<usize> = (0..ncols).collect();
-                for i in 0..k {
-                    let j = rng.random_range(i..ncols);
-                    cols.swap(i, j);
-                }
-                for (slot, role) in schema.slots.iter().enumerate() {
-                    if cols[..k].contains(&role.col()) {
-                        slot_vals[slot] = net.mask_token(slot);
-                    }
+                for s in row_seeds.iter_mut() {
+                    *s = rng.random();
                 }
             }
-            inputs.extend_from_slice(&slot_vals);
+            encode_chunk(
+                table,
+                schema,
+                net,
+                cfg,
+                chunk,
+                &row_seeds,
+                &mut targets,
+                &mut inputs,
+                threads,
+            );
         }
-
-        drop(encode_span);
+        encode_secs += t0.elapsed().as_secs_f64();
 
         // 3) AR step
+        let t0 = std::time::Instant::now();
         let _span = iam_obs::span!("train.ar_step");
-        ar_loss_sum += net.train_batch(&inputs, &targets, chunk.len()) as f64;
+        ar_loss_sum += net.train_batch_sharded(&inputs, &targets, chunk.len(), threads) as f64;
         opt.step(net);
+        ar_secs += t0.elapsed().as_secs_f64();
         batches += 1;
     }
 
@@ -157,6 +305,10 @@ pub fn train_epoch(
     p.gmm_loss.set(stats.gmm_loss);
     p.rows_per_sec.set(stats.rows_per_sec());
     p.epoch_ms.observe((stats.seconds * 1000.0) as u64);
+    p.threads.set(threads as i64);
+    p.gmm_phase_ms.set(gmm_secs * 1000.0);
+    p.encode_phase_ms.set(encode_secs * 1000.0);
+    p.ar_phase_ms.set(ar_secs * 1000.0);
     stats
 }
 

@@ -59,6 +59,27 @@ impl Embedding {
         }
     }
 
+    /// Scatter-accumulate into a caller-provided gradient buffer (`&self`):
+    /// the sharded-training variant of [`Self::backward_from`], with ids
+    /// passed explicitly instead of read from the forward cache.
+    pub fn scatter_grad(
+        &self,
+        ids: &[usize],
+        dx: &[f32],
+        offset: usize,
+        stride: usize,
+        grad: &mut [f32],
+    ) {
+        debug_assert_eq!(grad.len(), self.table.len());
+        for (b, &id) in ids.iter().enumerate() {
+            let src = &dx[b * stride + offset..b * stride + offset + self.dim];
+            let dst = &mut grad[id * self.dim..(id + 1) * self.dim];
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        }
+    }
+
     /// Visit (param, grad).
     pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
         f(&mut self.table, &mut self.grad);

@@ -1,6 +1,167 @@
 //! (Optionally masked) affine layers with manual backprop.
+//!
+//! The forward/backward kernels are register-blocked: dot products are
+//! split over [`LANES`] independent partial accumulators (making the
+//! float-summation order explicit so the compiler can vectorise without
+//! reassociating), and the forward micro-kernel processes [`ROW_BLOCK`]
+//! batch rows per weight-row load so `w` rows stay in registers/L1. The
+//! per-`(batch, out)` result depends only on the weight row and the input
+//! row — never on which batch block or output range it was computed in —
+//! so full forwards, row-range forwards, and sharded training forwards
+//! agree bitwise.
 
 use crate::init::Initializer;
+
+/// Independent partial sums per dot product (one SIMD lane each).
+const LANES: usize = 8;
+
+/// Batch rows processed per forward micro-kernel invocation.
+const ROW_BLOCK: usize = 4;
+
+/// Fixed tree reduction of the lane accumulators; every kernel uses this
+/// same order so identical `(w, x)` pairs give identical results.
+#[inline(always)]
+fn reduce_lanes(acc: [f32; LANES]) -> f32 {
+    let mut s = acc;
+    let mut width = LANES / 2;
+    while width > 0 {
+        for l in 0..width {
+            s[l] += s[l + width];
+        }
+        width /= 2;
+    }
+    s[0]
+}
+
+/// Lane-blocked dot product. The tail reuses the lane accumulators (lane
+/// `l` takes tail element `l`) so the result is a pure function of the
+/// element sequence, not of the caller.
+#[inline(always)]
+fn dot_lanes(w: &[f32], x: &[f32]) -> f32 {
+    debug_assert_eq!(w.len(), x.len());
+    let mut acc = [0.0f32; LANES];
+    let mut i = 0;
+    while i + LANES <= w.len() {
+        for l in 0..LANES {
+            acc[l] += w[i + l] * x[i + l];
+        }
+        i += LANES;
+    }
+    for (l, (wi, xi)) in w[i..].iter().zip(&x[i..]).enumerate() {
+        acc[l] += wi * xi;
+    }
+    reduce_lanes(acc)
+}
+
+/// Four dot products against one weight row, lane-for-lane identical to
+/// four [`dot_lanes`] calls — the row block only buys cache reuse.
+#[inline(always)]
+fn dot4_lanes(w: &[f32], x: [&[f32]; ROW_BLOCK]) -> [f32; ROW_BLOCK] {
+    let mut acc = [[0.0f32; LANES]; ROW_BLOCK];
+    let mut i = 0;
+    while i + LANES <= w.len() {
+        for r in 0..ROW_BLOCK {
+            for l in 0..LANES {
+                acc[r][l] += w[i + l] * x[r][i + l];
+            }
+        }
+        i += LANES;
+    }
+    for (l, wi) in w[i..].iter().enumerate() {
+        for r in 0..ROW_BLOCK {
+            acc[r][l] += wi * x[r][i + l];
+        }
+    }
+    let mut out = [0.0f32; ROW_BLOCK];
+    for r in 0..ROW_BLOCK {
+        out[r] = reduce_lanes(acc[r]);
+    }
+    out
+}
+
+/// Blocked `out[b][oj] = bias[o] + w[o]·x[b]` over an output-row range.
+/// `out` is `batch × rows.len()`, already sized by the caller.
+fn gemm_bias_rows(
+    w: &[f32],
+    bias: &[f32],
+    in_dim: usize,
+    rows: std::ops::Range<usize>,
+    x: &[f32],
+    batch: usize,
+    out: &mut [f32],
+) {
+    let width = rows.len();
+    debug_assert_eq!(x.len(), batch * in_dim);
+    debug_assert_eq!(out.len(), batch * width);
+    let mut b0 = 0;
+    while b0 + ROW_BLOCK <= batch {
+        let xs = [
+            &x[b0 * in_dim..(b0 + 1) * in_dim],
+            &x[(b0 + 1) * in_dim..(b0 + 2) * in_dim],
+            &x[(b0 + 2) * in_dim..(b0 + 3) * in_dim],
+            &x[(b0 + 3) * in_dim..(b0 + 4) * in_dim],
+        ];
+        for (oj, o) in rows.clone().enumerate() {
+            let d = dot4_lanes(&w[o * in_dim..(o + 1) * in_dim], xs);
+            let bo = bias[o];
+            for r in 0..ROW_BLOCK {
+                out[(b0 + r) * width + oj] = bo + d[r];
+            }
+        }
+        b0 += ROW_BLOCK;
+    }
+    for bi in b0..batch {
+        let xrow = &x[bi * in_dim..(bi + 1) * in_dim];
+        for (oj, o) in rows.clone().enumerate() {
+            out[bi * width + oj] = bias[o] + dot_lanes(&w[o * in_dim..(o + 1) * in_dim], xrow);
+        }
+    }
+}
+
+/// Backward kernel: accumulates `gw`/`gb` and adds `dL/dx` into `dx`
+/// (caller zeroes `dx`). Output-row outer loop keeps one `w`/`gw` row
+/// cache-hot across the whole batch, and the two separate elementwise
+/// loops vectorise without reordering any accumulation: per element the
+/// summation order (ascending `b` for `gw`/`gb`, ascending `o` for `dx`)
+/// matches the naive kernel exactly.
+#[allow(clippy::too_many_arguments)]
+fn backward_kernel(
+    w: &[f32],
+    in_dim: usize,
+    out_dim: usize,
+    x: &[f32],
+    dy: &[f32],
+    batch: usize,
+    gw: &mut [f32],
+    gb: &mut [f32],
+    dx: &mut [f32],
+) {
+    debug_assert_eq!(x.len(), batch * in_dim);
+    debug_assert_eq!(dy.len(), batch * out_dim);
+    debug_assert_eq!(dx.len(), batch * in_dim);
+    debug_assert_eq!(gw.len(), out_dim * in_dim);
+    debug_assert_eq!(gb.len(), out_dim);
+    for o in 0..out_dim {
+        let wrow = &w[o * in_dim..(o + 1) * in_dim];
+        let gwrow = &mut gw[o * in_dim..(o + 1) * in_dim];
+        for bi in 0..batch {
+            let g = dy[bi * out_dim + o];
+            if g == 0.0 {
+                // ReLU/CE gradients are sparse; skipping zeros is exact
+                continue;
+            }
+            gb[o] += g;
+            let xrow = &x[bi * in_dim..(bi + 1) * in_dim];
+            for (gw_i, xi) in gwrow.iter_mut().zip(xrow) {
+                *gw_i += g * xi;
+            }
+            let dxrow = &mut dx[bi * in_dim..(bi + 1) * in_dim];
+            for (dx_i, wi) in dxrow.iter_mut().zip(wrow) {
+                *dx_i += g * wi;
+            }
+        }
+    }
+}
 
 /// A dense affine layer `y = x Wᵀ + b`, optionally constrained by a binary
 /// connectivity mask (MADE-style).
@@ -71,23 +232,11 @@ impl Linear {
         self.forward_no_cache(x, batch, out);
     }
 
-    /// Forward without caching — for inference-only paths.
+    /// Forward without caching — for inference-only paths and for sharded
+    /// training, where each shard keeps its own activation buffers.
     pub fn forward_no_cache(&self, x: &[f32], batch: usize, out: &mut Vec<f32>) {
-        debug_assert_eq!(x.len(), batch * self.in_dim);
         out.resize(batch * self.out_dim, 0.0);
-        for bi in 0..batch {
-            let xrow = &x[bi * self.in_dim..(bi + 1) * self.in_dim];
-            let orow = &mut out[bi * self.out_dim..(bi + 1) * self.out_dim];
-            for (o, (wrow, bias)) in
-                orow.iter_mut().zip(self.w.chunks_exact(self.in_dim).zip(&self.b))
-            {
-                let mut acc = *bias;
-                for (wi, xi) in wrow.iter().zip(xrow) {
-                    acc += wi * xi;
-                }
-                *o = acc;
-            }
-        }
+        gemm_bias_rows(&self.w, &self.b, self.in_dim, 0..self.out_dim, x, batch, out);
     }
 
     /// Forward computing only output rows `rows` (inference): writes
@@ -99,22 +248,9 @@ impl Linear {
         rows: std::ops::Range<usize>,
         out: &mut Vec<f32>,
     ) {
-        debug_assert_eq!(x.len(), batch * self.in_dim);
         debug_assert!(rows.end <= self.out_dim);
-        let width = rows.len();
-        out.resize(batch * width, 0.0);
-        for bi in 0..batch {
-            let xrow = &x[bi * self.in_dim..(bi + 1) * self.in_dim];
-            let orow = &mut out[bi * width..(bi + 1) * width];
-            for (oi, o) in rows.clone().zip(orow.iter_mut()) {
-                let wrow = &self.w[oi * self.in_dim..(oi + 1) * self.in_dim];
-                let mut acc = self.b[oi];
-                for (wi, xi) in wrow.iter().zip(xrow) {
-                    acc += wi * xi;
-                }
-                *o = acc;
-            }
-        }
+        out.resize(batch * rows.len(), 0.0);
+        gemm_bias_rows(&self.w, &self.b, self.in_dim, rows, x, batch, out);
     }
 
     /// Backward: given `dL/dy` (`batch × out_dim`), accumulate `gw`/`gb`
@@ -123,30 +259,43 @@ impl Linear {
         let batch = self.last_batch;
         debug_assert_eq!(dy.len(), batch * self.out_dim);
         dx.resize(batch * self.in_dim, 0.0);
-        dx.iter_mut().for_each(|v| *v = 0.0);
-        for bi in 0..batch {
-            let xrow = &self.last_input[bi * self.in_dim..(bi + 1) * self.in_dim];
-            let dyrow = &dy[bi * self.out_dim..(bi + 1) * self.out_dim];
-            let dxrow = &mut dx[bi * self.in_dim..(bi + 1) * self.in_dim];
-            for (o, &g) in dyrow.iter().enumerate() {
-                if g == 0.0 {
-                    continue;
-                }
-                self.gb[o] += g;
-                let wrow = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
-                let gwrow = &mut self.gw[o * self.in_dim..(o + 1) * self.in_dim];
-                for i in 0..self.in_dim {
-                    gwrow[i] += g * xrow[i];
-                    dxrow[i] += g * wrow[i];
-                }
-            }
-        }
+        dx.fill(0.0);
+        backward_kernel(
+            &self.w,
+            self.in_dim,
+            self.out_dim,
+            &self.last_input,
+            dy,
+            batch,
+            &mut self.gw,
+            &mut self.gb,
+            dx,
+        );
         // enforce the connectivity mask on the weight gradients
         if let Some(mask) = &self.mask {
             for (g, m) in self.gw.iter_mut().zip(mask) {
                 *g *= m;
             }
         }
+    }
+
+    /// Backward into caller-provided gradient buffers (`&self`): the shard
+    /// kernel of data-parallel training, where every shard accumulates into
+    /// its own `gw`/`gb` and the shards are reduced afterwards. The
+    /// connectivity mask is NOT applied here — apply it once after the
+    /// shard reduction (see `MadeNet::train_batch_sharded`).
+    pub fn backward_into(
+        &self,
+        x: &[f32],
+        dy: &[f32],
+        batch: usize,
+        gw: &mut [f32],
+        gb: &mut [f32],
+        dx: &mut Vec<f32>,
+    ) {
+        dx.resize(batch * self.in_dim, 0.0);
+        dx.fill(0.0);
+        backward_kernel(&self.w, self.in_dim, self.out_dim, x, dy, batch, gw, gb, dx);
     }
 
     /// Visit (param, grad) pairs.
@@ -168,13 +317,27 @@ pub struct Relu {
 }
 
 impl Relu {
+    /// The single activation predicate shared by the training and
+    /// inference paths: a unit is active iff its pre-activation is
+    /// strictly positive, so NaN and -0.0 both clamp to +0.0 everywhere.
+    #[inline(always)]
+    fn is_active(v: f32) -> bool {
+        v > 0.0
+    }
+
     /// In-place forward, caching which units were active.
     pub fn forward(&mut self, x: &mut [f32]) {
-        self.active.clear();
-        self.active.reserve(x.len());
+        Self::forward_masked(x, &mut self.active);
+    }
+
+    /// In-place forward recording the activation pattern into a
+    /// caller-provided mask (sharded training keeps one mask per shard).
+    pub fn forward_masked(x: &mut [f32], active: &mut Vec<bool>) {
+        active.clear();
+        active.reserve(x.len());
         for v in x.iter_mut() {
-            let on = *v > 0.0;
-            self.active.push(on);
+            let on = Self::is_active(*v);
+            active.push(on);
             if !on {
                 *v = 0.0;
             }
@@ -184,7 +347,7 @@ impl Relu {
     /// In-place forward without caching (inference).
     pub fn forward_no_cache(x: &mut [f32]) {
         for v in x.iter_mut() {
-            if *v < 0.0 {
+            if !Self::is_active(*v) {
                 *v = 0.0;
             }
         }
@@ -192,8 +355,13 @@ impl Relu {
 
     /// In-place backward: zero gradients of inactive units.
     pub fn backward(&self, dy: &mut [f32]) {
-        debug_assert_eq!(dy.len(), self.active.len());
-        for (g, &on) in dy.iter_mut().zip(&self.active) {
+        Self::backward_masked(dy, &self.active);
+    }
+
+    /// Backward against an externally-held activation mask.
+    pub fn backward_masked(dy: &mut [f32], active: &[bool]) {
+        debug_assert_eq!(dy.len(), active.len());
+        for (g, &on) in dy.iter_mut().zip(active) {
             if !on {
                 *g = 0.0;
             }
@@ -214,6 +382,29 @@ mod tests {
         let mut out = Vec::new();
         l.forward(&[1.0, 0.0, -1.0, 2.0, 2.0, 2.0], 2, &mut out);
         assert_eq!(out, vec![1.0 - 3.0 + 0.5, 4.0 - 6.0 - 0.5, 12.0 + 0.5, 30.0 - 0.5]);
+    }
+
+    #[test]
+    fn blocked_forward_is_batch_position_invariant() {
+        // the same input row must produce bitwise-identical outputs whether
+        // it lands in a 4-row micro-kernel block or the scalar tail, and
+        // whether the full output or only a row range is computed
+        let mut init = Initializer::new(9);
+        let l = Linear::new(37, 19, &mut init); // odd dims exercise lane tails
+        let row: Vec<f32> = (0..37).map(|i| ((i * 31 + 7) % 13) as f32 * 0.173 - 0.8).collect();
+        for batch in [1usize, 3, 4, 5, 8, 11] {
+            let x: Vec<f32> = row.iter().copied().cycle().take(batch * 37).collect();
+            let mut full = Vec::new();
+            l.forward_no_cache(&x, batch, &mut full);
+            for b in 0..batch {
+                assert_eq!(&full[b * 19..(b + 1) * 19], &full[0..19], "batch {batch} row {b}");
+            }
+            let mut part = Vec::new();
+            l.forward_rows_no_cache(&x, batch, 6..13, &mut part);
+            for b in 0..batch {
+                assert_eq!(&part[b * 7..(b + 1) * 7], &full[b * 19 + 6..b * 19 + 13]);
+            }
+        }
     }
 
     #[test]
@@ -265,6 +456,26 @@ mod tests {
     }
 
     #[test]
+    fn backward_into_matches_cached_backward() {
+        let mut init = Initializer::new(4);
+        let mut l = Linear::new(9, 6, &mut init);
+        let x: Vec<f32> = (0..45).map(|i| (i as f32 * 0.37).sin()).collect();
+        let mut out = Vec::new();
+        l.forward(&x, 5, &mut out);
+        let dy: Vec<f32> = out.iter().map(|v| v * 0.5 - 0.1).collect();
+        let mut dx = Vec::new();
+        l.backward(&dy, &mut dx);
+
+        let mut gw = vec![0.0f32; l.w.len()];
+        let mut gb = vec![0.0f32; l.b.len()];
+        let mut dx2 = Vec::new();
+        l.backward_into(&x, &dy, 5, &mut gw, &mut gb, &mut dx2);
+        assert_eq!(l.gw, gw);
+        assert_eq!(l.gb, gb);
+        assert_eq!(dx, dx2);
+    }
+
+    #[test]
     fn masked_weights_start_and_stay_consistent() {
         let mut init = Initializer::new(3);
         // 2x2 with anti-diagonal masked out
@@ -292,5 +503,21 @@ mod tests {
         let mut g = vec![1.0, 1.0, 1.0, 1.0];
         r.backward(&mut g);
         assert_eq!(g, vec![0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn relu_paths_agree_on_nan_and_negative_zero() {
+        // regression: forward_no_cache used `*v < 0.0`, which left NaN in
+        // place while the cached training path zeroed it
+        let src = vec![f32::NAN, -0.0, 0.0, -1.5, 2.5, f32::NEG_INFINITY, f32::INFINITY];
+        let mut a = src.clone();
+        let mut b = src.clone();
+        let mut r = Relu::default();
+        r.forward(&mut a);
+        Relu::forward_no_cache(&mut b);
+        assert_eq!(a, vec![0.0, 0.0, 0.0, 0.0, 2.5, 0.0, f32::INFINITY]);
+        // bitwise agreement, including the sign bit of clamped -0.0
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a), bits(&b));
     }
 }

@@ -24,6 +24,12 @@ use crate::init::Initializer;
 use crate::linear::{Linear, Relu};
 use crate::Parameters;
 
+/// Rows per gradient shard in [`MadeNet::train_batch_sharded`]. The shard
+/// decomposition is a function of the batch size ALONE — never of the
+/// thread count — so the fixed-order shard reduction yields bitwise
+/// identical gradients for every `threads` value.
+pub const TRAIN_SHARD_ROWS: usize = 64;
+
 /// Configuration of a [`MadeNet`].
 #[derive(Debug, Clone)]
 pub struct MadeConfig {
@@ -73,6 +79,58 @@ impl InferScratch {
     }
 }
 
+/// Per-shard training scratch for [`MadeNet::train_batch_sharded`]:
+/// activations, ReLU activation masks, activation gradients and private
+/// parameter-gradient buffers. One scratch per shard (not per thread) so
+/// the gradient reduction order is independent of the thread count;
+/// buffers are allocated on first use and reused across batches.
+#[derive(Debug, Clone, Default)]
+pub struct TrainScratch {
+    bufs: Vec<Vec<f32>>,
+    masks: Vec<Vec<bool>>,
+    grads: Vec<Vec<f32>>,
+    dy: Vec<f32>,
+    probs: Vec<f32>,
+    dlogits: Vec<f32>,
+    ids: Vec<usize>,
+    /// Per-layer weight/bias gradients, same shapes as the model's.
+    gw: Vec<Vec<f32>>,
+    gb: Vec<Vec<f32>>,
+    /// Per-column embedding-table gradients.
+    gemb: Vec<Vec<f32>>,
+    /// Summed (not yet batch-normalised) NLL of the shard's rows, nats.
+    loss: f64,
+}
+
+impl TrainScratch {
+    fn ensure(&mut self, net: &MadeNet) {
+        let nl = net.layers.len();
+        if self.bufs.len() < nl + 1 {
+            self.bufs.resize(nl + 1, Vec::new());
+            self.grads.resize(nl + 1, Vec::new());
+            self.masks.resize(nl.saturating_sub(1), Vec::new());
+        }
+        if self.gw.len() != nl {
+            self.gw = net.layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
+            self.gb = net.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+            self.gemb = net.embeddings.iter().map(|e| vec![0.0; e.table.len()]).collect();
+        } else {
+            for g in self.gw.iter_mut().chain(self.gb.iter_mut()).chain(self.gemb.iter_mut()) {
+                g.fill(0.0);
+            }
+        }
+        self.loss = 0.0;
+    }
+}
+
+/// `dst += src`, elementwise; the shard-gradient reduction primitive.
+fn add_assign(dst: &mut [f32], src: &[f32]) {
+    debug_assert_eq!(dst.len(), src.len());
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d += s;
+    }
+}
+
 /// The masked autoregressive network with manual backprop.
 #[derive(Clone)]
 pub struct MadeNet {
@@ -90,6 +148,8 @@ pub struct MadeNet {
     grads: Vec<Vec<f32>>,
     // scratch for the &mut convenience wrapper around the immutable path
     infer_scratch: InferScratch,
+    // per-shard scratch pool for train_batch_sharded, reused across batches
+    train_pool: Vec<TrainScratch>,
 }
 
 impl MadeNet {
@@ -181,6 +241,7 @@ impl MadeNet {
             bufs: vec![Vec::new(); nlayers + 1],
             grads: vec![Vec::new(); nlayers + 1],
             infer_scratch: InferScratch::new(),
+            train_pool: Vec::new(),
         }
     }
 
@@ -397,6 +458,202 @@ impl MadeNet {
 
         self.backward(&dlogits, batch);
         (loss / batch as f64) as f32
+    }
+
+    /// Data-parallel training step. The mini-batch is split into fixed
+    /// [`TRAIN_SHARD_ROWS`]-row shards; each shard runs forward/backward
+    /// into its own gradient buffers ([`TrainScratch`]), shards are dealt
+    /// round-robin to `threads` scoped workers, and shard gradients are
+    /// reduced into the model's accumulators in ascending shard order.
+    ///
+    /// Determinism contract (mirrors `estimate_batch_parallel` on the
+    /// inference side): the shard decomposition and the reduction order
+    /// depend only on the batch size, so the accumulated gradient — and
+    /// therefore any model trained through this path — is bitwise
+    /// identical for every `threads` value, including 1. Returns the mean
+    /// per-tuple negative log-likelihood (Eq. 3, nats), reduced in the
+    /// same fixed order.
+    pub fn train_batch_sharded(
+        &mut self,
+        inputs: &[usize],
+        targets: &[usize],
+        batch: usize,
+        threads: usize,
+    ) -> f32 {
+        let n = self.ncols();
+        assert!(batch > 0, "empty training batch");
+        assert_eq!(inputs.len(), batch * n);
+        assert_eq!(targets.len(), batch * n);
+        let nshards = batch.div_ceil(TRAIN_SHARD_ROWS);
+        let mut pool = std::mem::take(&mut self.train_pool);
+        if pool.len() < nshards {
+            pool.resize(nshards, TrainScratch::default());
+        }
+        let inv_batch = 1.0 / batch as f32;
+        let workers = threads.clamp(1, nshards);
+        {
+            let net = &*self;
+            let run_shard = |s: usize, scratch: &mut TrainScratch| {
+                let r0 = s * TRAIN_SHARD_ROWS;
+                let rows = (batch - r0).min(TRAIN_SHARD_ROWS);
+                net.train_shard(
+                    scratch,
+                    &inputs[r0 * n..(r0 + rows) * n],
+                    &targets[r0 * n..(r0 + rows) * n],
+                    rows,
+                    inv_batch,
+                );
+            };
+            if workers == 1 {
+                for (s, scratch) in pool.iter_mut().take(nshards).enumerate() {
+                    run_shard(s, scratch);
+                }
+            } else {
+                let mut work: Vec<Vec<(usize, &mut TrainScratch)>> =
+                    (0..workers).map(|_| Vec::new()).collect();
+                for (s, scratch) in pool.iter_mut().take(nshards).enumerate() {
+                    work[s % workers].push((s, scratch));
+                }
+                std::thread::scope(|sc| {
+                    let mut work = work.into_iter();
+                    let mine = work.next().expect("workers >= 1");
+                    for assigned in work {
+                        let run_shard = &run_shard;
+                        sc.spawn(move || {
+                            for (s, scratch) in assigned {
+                                run_shard(s, scratch);
+                            }
+                        });
+                    }
+                    for (s, scratch) in mine {
+                        run_shard(s, scratch);
+                    }
+                });
+            }
+        }
+
+        // fixed-order reduction: ascending shard index, so float summation
+        // grouping never depends on the thread count
+        let _reduce = iam_obs::span!("train.reduce");
+        let mut loss = 0.0f64;
+        for shard in pool.iter().take(nshards) {
+            loss += shard.loss;
+            for (l, layer) in self.layers.iter_mut().enumerate() {
+                add_assign(&mut layer.gw, &shard.gw[l]);
+                add_assign(&mut layer.gb, &shard.gb[l]);
+            }
+            for (c, emb) in self.embeddings.iter_mut().enumerate() {
+                add_assign(&mut emb.grad, &shard.gemb[c]);
+            }
+        }
+        // the connectivity mask is applied once to the reduced gradient
+        for layer in &mut self.layers {
+            if let Some(mask) = &layer.mask {
+                for (g, m) in layer.gw.iter_mut().zip(mask) {
+                    *g *= m;
+                }
+            }
+        }
+        self.train_pool = pool;
+        (loss / batch as f64) as f32
+    }
+
+    /// One shard's forward/backward (`&self`): activations live in the
+    /// shard's scratch, parameter gradients accumulate into the shard's
+    /// private buffers (already scaled by `inv_batch`, the full mini-batch
+    /// normaliser), and the shard's summed NLL lands in `scratch.loss`.
+    /// The connectivity mask is applied after reduction, not here.
+    fn train_shard(
+        &self,
+        scratch: &mut TrainScratch,
+        inputs: &[usize],
+        targets: &[usize],
+        rows: usize,
+        inv_batch: f32,
+    ) {
+        let _gemm = iam_obs::span!("train.gemm");
+        scratch.ensure(self);
+        let n = self.ncols();
+        let e = self.cfg.embed_dim;
+        let stride = n * e;
+        let nlayers = self.layers.len();
+        let TrainScratch { bufs, masks, grads, dy, probs, dlogits, ids, gw, gb, gemb, loss } =
+            scratch;
+
+        // embed into bufs[0]
+        {
+            let buf = &mut bufs[0];
+            buf.resize(rows * stride, 0.0);
+            for (c, emb) in self.embeddings.iter().enumerate() {
+                ids.clear();
+                ids.extend((0..rows).map(|b| inputs[b * n + c]));
+                emb.gather(ids, buf, c * e, stride);
+            }
+        }
+
+        // forward, recording activation patterns per shard
+        for l in 0..nlayers {
+            let (head, tail) = bufs.split_at_mut(l + 1);
+            let x = &head[l];
+            let y = &mut tail[0];
+            self.layers[l].forward_no_cache(x, rows, y);
+            if l + 1 < nlayers {
+                Relu::forward_masked(y, &mut masks[l]);
+                if self.skip_from[l] {
+                    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+                        *yi += xi;
+                    }
+                }
+            }
+        }
+
+        // per-column softmax cross-entropy: loss and dL/dlogits
+        let logits = &bufs[nlayers];
+        dlogits.resize(logits.len(), 0.0);
+        let mut nll = 0.0f64;
+        for b in 0..rows {
+            for col in 0..n {
+                self.column_softmax(logits, b, col, probs);
+                let target = targets[b * n + col];
+                debug_assert!(target < self.cfg.domain_sizes[col]);
+                nll -= (probs[target].max(1e-30) as f64).ln();
+                let base = b * self.total_logits + self.logit_offsets[col];
+                for (j, &p) in probs.iter().enumerate() {
+                    dlogits[base + j] = (p - if j == target { 1.0 } else { 0.0 }) * inv_batch;
+                }
+            }
+        }
+        *loss = nll;
+
+        // backward through the layers into the shard's gradient buffers
+        grads[nlayers].clear();
+        grads[nlayers].extend_from_slice(dlogits);
+        for l in (0..nlayers).rev() {
+            let (gin, gout) = {
+                let (head, tail) = grads.split_at_mut(l + 1);
+                (&mut head[l], &tail[0])
+            };
+            dy.clear();
+            dy.extend_from_slice(gout);
+            if l + 1 < nlayers {
+                Relu::backward_masked(dy, &masks[l]);
+            }
+            self.layers[l].backward_into(&bufs[l], dy, rows, &mut gw[l], &mut gb[l], gin);
+            if l + 1 < nlayers && self.skip_from[l] {
+                for (gi, go) in gin.iter_mut().zip(gout.iter()) {
+                    *gi += go;
+                }
+            }
+        }
+
+        // scatter into the shard's embedding-gradient buffers
+        let dx0 = &grads[0];
+        debug_assert_eq!(dx0.len(), rows * stride);
+        for (c, emb) in self.embeddings.iter().enumerate() {
+            ids.clear();
+            ids.extend((0..rows).map(|b| inputs[b * n + c]));
+            emb.scatter_grad(ids, dx0, c * e, stride, &mut gemb[c]);
+        }
     }
 
     fn backward(&mut self, dlogits: &[f32], batch: usize) {
@@ -641,6 +898,62 @@ mod tests {
                 });
             }
         });
+    }
+
+    /// Gradients (post-`train_batch_sharded`, pre-optimiser) as bit
+    /// patterns, for exact comparisons.
+    fn grad_bits(net: &mut MadeNet) -> Vec<u32> {
+        let mut bits = Vec::new();
+        net.visit_params(&mut |_, g| bits.extend(g.iter().map(|v| v.to_bits())));
+        bits
+    }
+
+    #[test]
+    fn sharded_gradients_are_thread_count_invariant() {
+        // 150 rows -> 3 shards (64/64/22); the shard decomposition and
+        // reduction order are fixed, so every thread count must produce
+        // bitwise-identical gradients and loss
+        let mut rng = StdRng::seed_from_u64(21);
+        let batch = 150;
+        let data: Vec<usize> = (0..batch * 3).map(|_| rng.random_range(0..3usize)).collect();
+        let mut reference: Option<(Vec<u32>, u32)> = None;
+        for threads in [1usize, 2, 4, 7] {
+            let mut net = tiny_net(vec![3, 3, 3], 17);
+            let loss = net.train_batch_sharded(&data, &data, batch, threads);
+            let got = (grad_bits(&mut net), loss.to_bits());
+            match &reference {
+                None => reference = Some(got),
+                Some(want) => assert_eq!(want, &got, "threads={threads}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_training_learns_like_the_sequential_path() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 2000;
+        let mut data = Vec::with_capacity(n * 3);
+        for _ in 0..n {
+            let a = rng.random_range(0..5usize);
+            data.push(a);
+            data.push((a * 2) % 7);
+            data.push(rng.random_range(0..3usize));
+        }
+        let mut net = tiny_net(vec![5, 7, 3], 5);
+        let mut opt = Adam::new(AdamConfig::default());
+        let bs = 100;
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..25 {
+            for chunk in data.chunks_exact(bs * 3) {
+                last = net.train_batch_sharded(chunk, chunk, bs, 2);
+                first.get_or_insert(last);
+                opt.step(&mut net);
+            }
+        }
+        let first = first.unwrap();
+        assert!(last.is_finite() && first.is_finite());
+        assert!(last < first - 1.0, "loss should fall materially: {first} -> {last}");
     }
 
     #[test]

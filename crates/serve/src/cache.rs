@@ -9,10 +9,17 @@
 //!
 //! Each shard is a true O(1) LRU: a hash map into a slab of nodes threaded
 //! on an intrusive doubly-linked list (no per-access allocation).
+//!
+//! A worker that panics while holding a shard lock poisons it; without
+//! recovery every later request touching that shard would panic too. Since
+//! a cache may always forget, recovery is clear-and-continue: the shard's
+//! contents are dropped (its LRU links may be mid-mutation), the poison
+//! flag is cleared, and the access proceeds on the now-empty shard.
+//! Recoveries are counted and surfaced through the service metrics.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 const NIL: usize = usize::MAX;
 
@@ -131,6 +138,7 @@ pub struct QueryCache {
     mask: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    recoveries: AtomicU64,
 }
 
 impl QueryCache {
@@ -143,6 +151,7 @@ impl QueryCache {
                 mask: 0,
                 hits: AtomicU64::new(0),
                 misses: AtomicU64::new(0),
+                recoveries: AtomicU64::new(0),
             };
         }
         let nshards = shards.clamp(1, 256).next_power_of_two();
@@ -152,6 +161,23 @@ impl QueryCache {
             mask: nshards - 1,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            recoveries: AtomicU64::new(0),
+        }
+    }
+
+    /// Lock a shard, recovering from poisoning by clearing it: a panicking
+    /// lock holder may have left the LRU links mid-mutation, and an empty
+    /// shard is always a correct cache state.
+    fn lock_shard<'a>(&self, m: &'a Mutex<Shard>) -> MutexGuard<'a, Shard> {
+        match m.lock() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                let mut g = poisoned.into_inner();
+                g.clear();
+                m.clear_poison();
+                self.recoveries.fetch_add(1, Relaxed);
+                g
+            }
         }
     }
 
@@ -174,7 +200,7 @@ impl QueryCache {
         if self.is_disabled() {
             return None;
         }
-        let got = self.shard(key).lock().expect("cache shard poisoned").get(key, version);
+        let got = self.lock_shard(self.shard(key)).get(key, version);
         match got {
             Some(_) => self.hits.fetch_add(1, Relaxed),
             None => self.misses.fetch_add(1, Relaxed),
@@ -187,13 +213,13 @@ impl QueryCache {
         if self.is_disabled() {
             return;
         }
-        self.shard(key).lock().expect("cache shard poisoned").insert(key, version, value);
+        self.lock_shard(self.shard(key)).insert(key, version, value);
     }
 
     /// Drop every entry (called on model swap). Hit/miss counters survive.
     pub fn clear(&self) {
         for s in &self.shards {
-            s.lock().expect("cache shard poisoned").clear();
+            self.lock_shard(s).clear();
         }
     }
 
@@ -202,9 +228,15 @@ impl QueryCache {
         (self.hits.load(Relaxed), self.misses.load(Relaxed))
     }
 
+    /// Poisoned-lock recoveries since construction (each one dropped the
+    /// contents of a single shard).
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries.load(Relaxed)
+    }
+
     /// Entries currently resident (sums shard sizes; O(shards)).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").map.len()).sum()
+        self.shards.iter().map(|s| self.lock_shard(s).map.len()).sum()
     }
 
     /// True when no entry is resident.
@@ -279,6 +311,29 @@ mod tests {
         c.insert(1, 1, 0.5);
         assert_eq!(c.get(1, 1), None);
         assert_eq!(c.stats(), (0, 0), "disabled cache records nothing");
+    }
+
+    #[test]
+    fn poisoned_shard_recovers_by_clearing() {
+        let c = QueryCache::new(64, 1); // one shard so the poison is where we look
+        c.insert(1, 1, 0.1);
+        c.insert(2, 1, 0.2);
+        let res = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = c.shards[0].lock().unwrap();
+                panic!("poison the shard");
+            })
+            .join()
+        });
+        assert!(res.is_err(), "helper thread should have panicked");
+        assert!(c.shards[0].is_poisoned());
+
+        // the next access recovers: the shard comes back empty but usable
+        assert_eq!(c.get(1, 1), None, "recovery drops the shard's contents");
+        assert!(!c.shards[0].is_poisoned());
+        c.insert(3, 1, 0.3);
+        assert_eq!(c.get(3, 1), Some(0.3));
+        assert_eq!(c.recoveries(), 1);
     }
 
     #[test]

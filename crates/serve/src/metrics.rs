@@ -140,14 +140,22 @@ impl Metrics {
     }
 
     /// Prometheus text exposition of this service's registry, the cache's
-    /// hit/miss accounting (the cache keeps its own counters), and the
+    /// hit/miss accounting (the cache keeps its own counters), lock-poison
+    /// recoveries (counted by the cache and registry themselves), and the
     /// process-global registry (training/inference probes).
-    pub fn render_prometheus(&self, cache_hits: u64, cache_misses: u64) -> String {
+    pub fn render_prometheus(
+        &self,
+        cache_hits: u64,
+        cache_misses: u64,
+        lock_recoveries: u64,
+    ) -> String {
         let mut out = self.registry.render_prometheus();
         out.push_str("# TYPE iam_serve_cache_hits_total counter\n");
         out.push_str(&format!("iam_serve_cache_hits_total {cache_hits}\n"));
         out.push_str("# TYPE iam_serve_cache_misses_total counter\n");
         out.push_str(&format!("iam_serve_cache_misses_total {cache_misses}\n"));
+        out.push_str("# TYPE iam_serve_lock_recoveries_total counter\n");
+        out.push_str(&format!("iam_serve_lock_recoveries_total {lock_recoveries}\n"));
         out.push_str(&Registry::global().render_prometheus());
         out
     }
@@ -160,6 +168,7 @@ impl Metrics {
             requests: self.requests.get(),
             cache_hits: 0,
             cache_misses: 0,
+            lock_recoveries: 0,
             overloaded: self.overloaded.get(),
             timeouts: self.timeouts.get(),
             bad_queries: self.bad_queries.get(),
@@ -189,6 +198,9 @@ pub struct MetricsSnapshot {
     pub cache_hits: u64,
     /// Cache lookups that missed (and went to the queue).
     pub cache_misses: u64,
+    /// Poisoned-lock recoveries (cache shards + registry), filled in by the
+    /// service like the cache accounting above.
+    pub lock_recoveries: u64,
     /// Submissions rejected with `Overloaded`.
     pub overloaded: u64,
     /// Requests that expired before a reply.
@@ -247,6 +259,7 @@ impl MetricsSnapshot {
         line("cache_hits", self.cache_hits.to_string());
         line("cache_misses", self.cache_misses.to_string());
         line("cache_hit_rate", format!("{:.4}", self.cache_hit_rate()));
+        line("lock_recoveries", self.lock_recoveries.to_string());
         line("rejected_overloaded", self.overloaded.to_string());
         line("timeouts", self.timeouts.to_string());
         line("bad_queries", self.bad_queries.to_string());
@@ -354,11 +367,12 @@ mod tests {
         m.request();
         m.batch(4, 4);
         m.latency(Duration::from_micros(120));
-        let prom = m.render_prometheus(7, 3);
+        let prom = m.render_prometheus(7, 3, 2);
         assert!(prom.contains("# TYPE iam_serve_requests_total counter"), "{prom}");
         assert!(prom.contains("iam_serve_requests_total 1"), "{prom}");
         assert!(prom.contains("iam_serve_cache_hits_total 7"), "{prom}");
         assert!(prom.contains("iam_serve_cache_misses_total 3"), "{prom}");
+        assert!(prom.contains("iam_serve_lock_recoveries_total 2"), "{prom}");
         // histogram catch-alls render as +Inf, never a raw u64::MAX
         assert!(prom.contains("iam_serve_latency_us_bucket{le=\"+Inf\"} 1"), "{prom}");
         assert!(!prom.contains(&u64::MAX.to_string()), "{prom}");

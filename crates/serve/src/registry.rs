@@ -9,12 +9,19 @@
 //! Loading a snapshot that fails to parse leaves the active version
 //! untouched — failed loads roll back for free because the swap only
 //! happens after a fully validated [`IamEstimator::load`].
+//!
+//! Both locks recover from poisoning rather than propagating the panic to
+//! every later caller. Unlike the query cache there is nothing to discard:
+//! each critical section only ever swaps or pushes fully formed
+//! `Arc<ModelVersion>` values, so the protected state is valid even if the
+//! holder panicked mid-section. Recovery is therefore take-and-continue;
+//! occurrences are counted and surfaced through the service metrics.
 
 use crate::error::ServeError;
 use iam_core::IamEstimator;
 use std::io::Read;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// How many superseded versions [`ModelRegistry`] retains for rollback.
 pub const HISTORY_LIMIT: usize = 4;
@@ -34,6 +41,7 @@ pub struct ModelRegistry {
     active: RwLock<Arc<ModelVersion>>,
     history: Mutex<Vec<Arc<ModelVersion>>>,
     next_id: AtomicU64,
+    recoveries: AtomicU64,
 }
 
 impl ModelRegistry {
@@ -44,12 +52,42 @@ impl ModelRegistry {
             active: RwLock::new(v),
             history: Mutex::new(Vec::new()),
             next_id: AtomicU64::new(2),
+            recoveries: AtomicU64::new(0),
         }
+    }
+
+    // The three lock helpers below recover from poisoning with
+    // `into_inner`: the guarded values (an Arc swap target and a Vec of
+    // Arcs) are valid at every program point inside the critical sections,
+    // so the contents can be used as-is.
+
+    fn read_active(&self) -> RwLockReadGuard<'_, Arc<ModelVersion>> {
+        self.active.read().unwrap_or_else(|poisoned| {
+            self.active.clear_poison();
+            self.recoveries.fetch_add(1, Relaxed);
+            poisoned.into_inner()
+        })
+    }
+
+    fn write_active(&self) -> RwLockWriteGuard<'_, Arc<ModelVersion>> {
+        self.active.write().unwrap_or_else(|poisoned| {
+            self.active.clear_poison();
+            self.recoveries.fetch_add(1, Relaxed);
+            poisoned.into_inner()
+        })
+    }
+
+    fn lock_history(&self) -> MutexGuard<'_, Vec<Arc<ModelVersion>>> {
+        self.history.lock().unwrap_or_else(|poisoned| {
+            self.history.clear_poison();
+            self.recoveries.fetch_add(1, Relaxed);
+            poisoned.into_inner()
+        })
     }
 
     /// The currently active version (cheap: clones an `Arc`).
     pub fn current(&self) -> Arc<ModelVersion> {
-        self.active.read().expect("registry lock poisoned").clone()
+        self.read_active().clone()
     }
 
     /// Id of the currently active version.
@@ -63,10 +101,10 @@ impl ModelRegistry {
         let id = self.next_id.fetch_add(1, Relaxed);
         let v = Arc::new(ModelVersion { id, label: label.to_string(), model });
         let old = {
-            let mut active = self.active.write().expect("registry lock poisoned");
+            let mut active = self.write_active();
             std::mem::replace(&mut *active, v)
         };
-        let mut h = self.history.lock().expect("registry lock poisoned");
+        let mut h = self.lock_history();
         h.push(old);
         if h.len() > HISTORY_LIMIT {
             h.remove(0);
@@ -86,11 +124,11 @@ impl ModelRegistry {
     /// forth). The reactivated version keeps its original id — its old
     /// cache entries are valid again, because it is byte-identical.
     pub fn rollback(&self) -> Result<u64, ServeError> {
-        let mut h = self.history.lock().expect("registry lock poisoned");
+        let mut h = self.lock_history();
         let prev = h.pop().ok_or(ServeError::NoPreviousVersion)?;
         let id = prev.id;
         let old = {
-            let mut active = self.active.write().expect("registry lock poisoned");
+            let mut active = self.write_active();
             std::mem::replace(&mut *active, prev)
         };
         h.push(old);
@@ -99,7 +137,12 @@ impl ModelRegistry {
 
     /// Number of superseded versions available to [`Self::rollback`].
     pub fn history_len(&self) -> usize {
-        self.history.lock().expect("registry lock poisoned").len()
+        self.lock_history().len()
+    }
+
+    /// Poisoned-lock recoveries since construction.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries.load(Relaxed)
     }
 }
 
@@ -167,6 +210,35 @@ mod tests {
         let id = reg.load(&mut buf.as_slice(), "loaded").unwrap();
         assert_eq!(id, 2);
         assert_eq!(reg.current().label, "loaded");
+    }
+
+    #[test]
+    fn poisoned_locks_recover_with_state_intact() {
+        let reg = ModelRegistry::new(tiny_model(9), "v1");
+        reg.install(tiny_model(10), "v2");
+
+        // poison both the active RwLock and the history Mutex
+        let res = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _active = reg.active.write().unwrap();
+                let _history = reg.history.lock().unwrap();
+                panic!("poison the registry locks");
+            })
+            .join()
+        });
+        assert!(res.is_err(), "helper thread should have panicked");
+        assert!(reg.active.is_poisoned());
+        assert!(reg.history.is_poisoned());
+
+        // every operation still works, and nothing was lost: the guarded
+        // values are whole Arc swaps, valid even mid-panic
+        assert_eq!(reg.current_id(), 2);
+        assert_eq!(reg.history_len(), 1);
+        assert_eq!(reg.rollback().unwrap(), 1);
+        assert_eq!(reg.current().label, "v1");
+        assert!(!reg.active.is_poisoned());
+        assert!(!reg.history.is_poisoned());
+        assert!(reg.recoveries() >= 2, "both locks should have recovered");
     }
 
     #[test]

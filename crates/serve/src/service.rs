@@ -30,7 +30,7 @@ use crate::error::ServeError;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::registry::{ModelRegistry, ModelVersion};
 use iam_core::IamEstimator;
-use iam_data::RangeQuery;
+use iam_data::{RangeQuery, Table};
 use std::collections::HashMap;
 use std::io::Read;
 use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
@@ -99,12 +99,19 @@ struct ServiceInner {
 }
 
 impl ServiceInner {
-    /// Metrics snapshot with the cache's hit/miss accounting merged in.
+    /// Poisoned-lock recoveries across the cache shards and the registry.
+    fn lock_recoveries(&self) -> u64 {
+        self.cache.recoveries() + self.registry.recoveries()
+    }
+
+    /// Metrics snapshot with the cache's hit/miss accounting and the
+    /// lock-recovery count merged in.
     fn snapshot(&self) -> MetricsSnapshot {
         let mut s = self.metrics.snapshot();
         let (hits, misses) = self.cache.stats();
         s.cache_hits = hits;
         s.cache_misses = misses;
+        s.lock_recoveries = self.lock_recoveries();
         s
     }
 
@@ -112,7 +119,7 @@ impl ServiceInner {
     /// process-global registry (core training/inference probes).
     fn prometheus(&self) -> String {
         let (hits, misses) = self.cache.stats();
-        self.metrics.render_prometheus(hits, misses)
+        self.metrics.render_prometheus(hits, misses, self.lock_recoveries())
     }
 }
 
@@ -161,6 +168,25 @@ impl Service {
         self.inner.cache.clear();
         self.inner.metrics.model_swap();
         id
+    }
+
+    /// Refresh the active model: clone it, train `epochs` additional epochs
+    /// on `table` with `train_threads` worker threads (0 = one per core; the
+    /// thread count never changes the resulting weights, only wall time),
+    /// then hot-swap the retrained clone in as a new version. Serving
+    /// continues on the old version for the whole training run. Returns the
+    /// new version id.
+    pub fn refresh_model(
+        &self,
+        table: &Table,
+        epochs: usize,
+        train_threads: usize,
+        label: &str,
+    ) -> u64 {
+        let mut model = self.inner.registry.current().model.clone();
+        model.set_train_threads(train_threads);
+        model.train_epochs(table, epochs);
+        self.swap_model(model, label)
     }
 
     /// Load a persisted snapshot and hot-swap it in. A snapshot that fails

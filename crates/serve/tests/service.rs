@@ -177,6 +177,46 @@ fn hot_swap_and_rollback_change_answers() {
     assert_eq!(snap.model_swaps, 2);
 }
 
+/// `refresh_model` retrains a clone of the active model and hot-swaps it in,
+/// and the training thread count never changes the refreshed answers — two
+/// services refreshed from the same version with different `train_threads`
+/// must serve bitwise-identical estimates.
+#[test]
+fn refresh_model_is_train_thread_invariant() {
+    let table = Dataset::Twi.generate(800, 11);
+    let base = tiny_model(11);
+    let queries = workload(11, 4);
+    let direct_before = base.estimate_batch_shared(&queries, 1);
+
+    let svc_a =
+        Service::start(base.clone(), "v1", ServeConfig { workers: 1, ..Default::default() });
+    let svc_b = Service::start(base, "v1", ServeConfig { workers: 1, ..Default::default() });
+
+    let id_a = svc_a.refresh_model(&table, 2, 1, "refresh-1t");
+    let id_b = svc_b.refresh_model(&table, 2, 2, "refresh-2t");
+    assert_eq!(id_a, 2);
+    assert_eq!(id_b, 2);
+    assert_eq!(svc_a.current_version(), (2, "refresh-1t".to_string()));
+
+    let (ca, cb) = (svc_a.client(), svc_b.client());
+    let mut any_changed = false;
+    for (i, q) in queries.iter().enumerate() {
+        let a = ca.estimate(q).unwrap();
+        let b = cb.estimate(q).unwrap();
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "query {i}: 1-thread refresh served {a}, 2-thread refresh served {b}"
+        );
+        any_changed |= a.to_bits() != direct_before[i].to_bits();
+    }
+    assert!(any_changed, "two extra epochs should move at least one estimate");
+
+    let snap = svc_a.shutdown();
+    assert_eq!(snap.model_swaps, 1);
+    svc_b.shutdown();
+}
+
 /// A snapshot that fails to parse must leave the active version serving.
 #[test]
 fn failed_load_rolls_back_to_active_version() {
