@@ -88,6 +88,14 @@ pub struct IamConfig {
     /// in a fixed order — only wall time (see
     /// `MadeNet::train_batch_sharded`).
     pub train_threads: usize,
+    /// Use the fused embedding→layer-1 inference path: after training,
+    /// precompute `T[slot][token] = W₁-block × embed[slot][token]` so each
+    /// forward row's first hidden layer is a sum of cached vectors instead
+    /// of an embedding gather plus a matrix multiply. Estimates are bitwise
+    /// identical either way — this trades `Σ_s domain(s) × hidden[0]`
+    /// floats of memory for inference speed. Runtime-only (not persisted);
+    /// toggle with `IamEstimator::set_fused_layer1`.
+    pub fused_layer1: bool,
     /// RNG seed (training shuffles, sampling).
     pub seed: u64,
 }
@@ -112,6 +120,7 @@ impl Default for IamConfig {
             samples: 512,
             range_mass: RangeMassMode::Exact,
             train_threads: 1,
+            fused_layer1: true,
             seed: 42,
         }
     }

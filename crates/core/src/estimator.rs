@@ -2,11 +2,12 @@
 
 use crate::config::IamConfig;
 use crate::infer;
+use crate::probes;
 use crate::schema::IamSchema;
 use crate::train::{self, EpochStats};
 use iam_data::{RangeQuery, SelectivityEstimator, Table};
 use iam_gmm::GmmSgdTrainer;
-use iam_nn::{Adam, AdamConfig, InferScratch, MadeConfig, MadeNet, Parameters};
+use iam_nn::{Adam, AdamConfig, FusedTables, MadeConfig, MadeNet, Parameters};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -24,7 +25,8 @@ pub struct IamEstimator {
     gmm_trainers: Vec<Option<GmmSgdTrainer>>,
     nrows: usize,
     rng: StdRng,
-    scratch: InferScratch,
+    fused: Option<FusedTables>,
+    pool: infer::ScratchPool,
     name: String,
     /// Loss curve, one entry per trained epoch.
     pub stats: Vec<EpochStats>,
@@ -64,7 +66,8 @@ impl IamEstimator {
             opt,
             gmm_trainers,
             nrows: table.nrows(),
-            scratch: InferScratch::new(),
+            fused: None,
+            pool: infer::ScratchPool::new(),
             name,
             stats: Vec::new(),
             cfg,
@@ -74,6 +77,7 @@ impl IamEstimator {
     /// Train for `epochs` additional epochs (resumable — Figure 6 evaluates
     /// the model between calls).
     pub fn train_epochs(&mut self, table: &Table, epochs: usize) {
+        self.fused = None; // parameters are about to change
         for _ in 0..epochs {
             let s = train::train_epoch(
                 table,
@@ -97,6 +101,34 @@ impl IamEstimator {
             );
             self.stats.push(s);
         }
+        self.prepare_inference();
+    }
+
+    /// (Re)build inference-only acceleration state: when
+    /// [`IamConfig::fused_layer1`] is on, precompute the per-(slot, token)
+    /// embedding→layer-1 contribution tables used by the fused forward
+    /// path. Called automatically after training and after loading a
+    /// persisted model; harmless to call again. Estimates are bitwise
+    /// identical with or without the tables.
+    pub fn prepare_inference(&mut self) {
+        let bytes = if self.cfg.fused_layer1 {
+            let tables = self.net.build_fused_tables();
+            let bytes = tables.size_bytes();
+            self.fused = Some(tables);
+            bytes
+        } else {
+            self.fused = None;
+            0
+        };
+        probes::infer().table_bytes.set(bytes as i64);
+    }
+
+    /// Toggle the fused embedding→layer-1 inference path at runtime
+    /// (rebuilds or drops the token tables immediately). A pure
+    /// speed/memory trade-off: estimates never change.
+    pub fn set_fused_layer1(&mut self, on: bool) {
+        self.cfg.fused_layer1 = on;
+        self.prepare_inference();
     }
 
     /// Rebuild an estimator from persisted parts (see `persist`): the
@@ -124,7 +156,8 @@ impl IamEstimator {
             opt,
             gmm_trainers,
             nrows,
-            scratch: InferScratch::new(),
+            fused: None,
+            pool: infer::ScratchPool::new(),
             name: name.to_string(),
             stats: Vec::new(),
             cfg,
@@ -147,15 +180,22 @@ impl IamEstimator {
     /// Batched inference: one progressive-sampling run answering many
     /// queries in shared forward passes (§5.3, "Batch Query Inference").
     pub fn estimate_batch(&mut self, queries: &[RangeQuery]) -> Vec<f64> {
+        if self.fused.is_none() && self.cfg.fused_layer1 {
+            self.prepare_inference();
+        }
         let plans: Vec<_> = queries.iter().map(|q| self.schema.query_plan(q)).collect();
-        infer::estimate_batch(
+        let mut scratch = self.pool.take();
+        let out = infer::estimate_batch(
             &self.net,
             &self.schema,
             &plans,
             self.cfg.samples,
             &mut self.rng,
-            &mut self.scratch,
-        )
+            self.fused.as_ref(),
+            &mut scratch,
+        );
+        self.pool.put(scratch);
+        out
     }
 
     /// Deterministic, shareable batched inference: `&self`, so a single
@@ -180,7 +220,9 @@ impl IamEstimator {
             &plans,
             self.cfg.samples,
             &seeds,
+            self.fused.as_ref(),
             threads,
+            &self.pool,
         )
     }
 
@@ -210,7 +252,11 @@ impl IamEstimator {
 
     /// Mutable access to the underlying AR network (testing/diagnostics:
     /// e.g. exhaustively enumerating the model's implied distribution).
+    /// Invalidates the fused inference tables — callers may mutate
+    /// parameters, and stale tables would silently change estimates; the
+    /// tables are rebuilt lazily on the next estimate call.
     pub fn net_mut(&mut self) -> &mut MadeNet {
+        self.fused = None;
         &mut self.net
     }
 
@@ -250,7 +296,8 @@ impl Clone for IamEstimator {
             gmm_trainers: self.gmm_trainers.clone(),
             nrows: self.nrows,
             rng: StdRng::seed_from_u64(self.cfg.seed ^ 0xC10E),
-            scratch: InferScratch::new(),
+            fused: self.fused.clone(),
+            pool: infer::ScratchPool::new(),
             name: self.name.clone(),
             stats: self.stats.clone(),
         }

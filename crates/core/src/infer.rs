@@ -25,9 +25,70 @@
 
 use crate::probes;
 use crate::schema::{IamSchema, SlotConstraint};
-use iam_nn::{InferScratch, MadeNet};
+use iam_nn::{FusedTables, InferScratch, MadeNet};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Reusable per-worker buffers for progressive-sampling runs: the network
+/// scratch plus every gather/dedup/softmax buffer of the slot loop. One
+/// scratch serves one [`estimate_batch_seeded_into`] call at a time;
+/// [`ScratchPool`] recycles them across micro-batches so the serving hot
+/// path allocates nothing beyond first-use growth.
+#[derive(Debug, Default)]
+pub struct QueryScratch {
+    nn: InferScratch,
+    inputs: Vec<usize>,
+    p_hat: Vec<f64>,
+    gather_rows: Vec<usize>,
+    gather_inputs: Vec<usize>,
+    unique_of: Vec<u32>,
+    logits: Vec<f32>,
+    probs: Vec<f32>,
+    probs_all: Vec<f32>,
+    weighted: Vec<f64>,
+}
+
+impl QueryScratch {
+    /// Fresh, empty scratch; buffers grow on first use and are reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// A free list of [`QueryScratch`] shared by inference workers: scratch is
+/// checked out per call and returned afterwards, so repeated micro-batches
+/// (the serving layer's steady state) reuse grown buffers instead of
+/// reallocating them. Poisoning is benign — a scratch lost to a panicking
+/// worker is simply rebuilt on the next checkout.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    free: Mutex<Vec<QueryScratch>>,
+}
+
+impl ScratchPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn take(&self) -> QueryScratch {
+        match self.free.lock() {
+            Ok(mut v) => v.pop().unwrap_or_default(),
+            Err(poisoned) => {
+                self.free.clear_poison();
+                poisoned.into_inner().pop().unwrap_or_default()
+            }
+        }
+    }
+
+    pub(crate) fn put(&self, scratch: QueryScratch) {
+        if let Ok(mut v) = self.free.lock() {
+            v.push(scratch);
+        }
+    }
+}
 
 /// Batched progressive-sampling estimator (sequential, caller-provided RNG).
 ///
@@ -41,10 +102,11 @@ pub fn estimate_batch(
     plans: &[Option<Vec<SlotConstraint>>],
     samples_per_query: usize,
     rng: &mut StdRng,
-    scratch: &mut InferScratch,
+    fused: Option<&FusedTables>,
+    scratch: &mut QueryScratch,
 ) -> Vec<f64> {
     let seeds: Vec<u64> = plans.iter().map(|_| rng.random::<u64>()).collect();
-    estimate_batch_seeded(net, schema, plans, samples_per_query, &seeds, scratch)
+    estimate_batch_seeded(net, schema, plans, samples_per_query, &seeds, fused, scratch)
 }
 
 /// Like [`estimate_batch`], but with one explicit RNG seed per query:
@@ -56,38 +118,88 @@ pub fn estimate_batch_seeded(
     plans: &[Option<Vec<SlotConstraint>>],
     samples_per_query: usize,
     seeds: &[u64],
-    scratch: &mut InferScratch,
+    fused: Option<&FusedTables>,
+    scratch: &mut QueryScratch,
 ) -> Vec<f64> {
+    let mut results = vec![0.0f64; plans.len()];
+    estimate_batch_seeded_into(
+        net,
+        schema,
+        plans,
+        samples_per_query,
+        seeds,
+        fused,
+        scratch,
+        &mut results,
+    );
+    results
+}
+
+/// [`estimate_batch_seeded`] writing into a caller-provided result slice —
+/// the kernel behind [`estimate_batch_parallel`]'s shared result buffer.
+///
+/// When `fused` is `Some`, forwards run through the precomputed
+/// embedding→layer-1 token tables; estimates are bitwise identical either
+/// way (see [`iam_nn::FusedTables`]). Within each slot step, sample rows
+/// with identical sampled prefixes are deduplicated and forwarded once
+/// (logits are scattered back); at the first constrained slot every live
+/// row still carries the all-MASK prefix, so the whole chunk shares a
+/// single forward row. Deduplication never changes results: the forward
+/// kernels are batch-position invariant and a row's logits depend only on
+/// its own inputs.
+#[allow(clippy::too_many_arguments)]
+pub fn estimate_batch_seeded_into(
+    net: &MadeNet,
+    schema: &IamSchema,
+    plans: &[Option<Vec<SlotConstraint>>],
+    samples_per_query: usize,
+    seeds: &[u64],
+    fused: Option<&FusedTables>,
+    scratch: &mut QueryScratch,
+    results: &mut [f64],
+) {
     assert_eq!(plans.len(), seeds.len(), "one seed per query");
+    assert_eq!(plans.len(), results.len(), "one result slot per query");
     let _span = iam_obs::span!("infer.progressive_sample");
     let nslots = schema.nslots();
     let sp = samples_per_query.max(1);
     // map live queries to sample-row blocks
     let live: Vec<usize> = (0..plans.len()).filter(|&q| plans[q].is_some()).collect();
-    let mut results = vec![0.0f64; plans.len()];
+    results.fill(0.0);
     if live.is_empty() {
-        return results;
+        return;
     }
     let rows = live.len() * sp;
     let mut rngs: Vec<StdRng> = live.iter().map(|&q| StdRng::seed_from_u64(seeds[q])).collect();
 
+    let QueryScratch {
+        nn,
+        inputs,
+        p_hat,
+        gather_rows,
+        gather_inputs,
+        unique_of,
+        logits,
+        probs,
+        probs_all,
+        weighted,
+    } = scratch;
+
     // sample state: all slots start at their MASK token
-    let mut inputs: Vec<usize> = Vec::with_capacity(rows * nslots);
+    inputs.clear();
+    inputs.reserve(rows * nslots);
     for _ in 0..rows {
         for s in 0..nslots {
             inputs.push(net.mask_token(s));
         }
     }
-    let mut p_hat = vec![1.0f64; rows];
+    p_hat.clear();
+    p_hat.resize(rows, 1.0);
 
-    // scratch
-    let mut gather_rows: Vec<usize> = Vec::new();
-    let mut gather_inputs: Vec<usize> = Vec::new();
-    let mut logits: Vec<f32> = Vec::new();
-    let mut probs: Vec<f32> = Vec::new();
-    let mut weighted: Vec<f64> = Vec::new();
     // local accounting, flushed to the registry once per batch
     let mut forward_rows = 0u64;
+    let mut dedup_hits = 0u64;
+    let mut skipped_flops = 0u64;
 
     for slot in 0..nslots {
         // which rows need a model forward at this slot?
@@ -108,28 +220,67 @@ pub fn estimate_batch_seeded(
             continue;
         }
         forward_rows += gather_rows.len() as u64;
-        // compact forward over just those rows
-        gather_inputs.clear();
-        for &row in &gather_rows {
-            gather_inputs.extend_from_slice(&inputs[row * nslots..(row + 1) * nslots]);
+
+        // prefix deduplication: a row's logits at this slot depend only on
+        // its sampled prefix (every slot ≥ `slot` is still MASK for every
+        // row), so rows sharing a prefix share one forward. At early slots
+        // few distinct prefixes exist — slot 0 always collapses to ONE
+        // all-MASK row for the whole chunk.
+        let nuniq = {
+            let _dspan = iam_obs::span!("infer.prefix_dedup");
+            unique_of.clear();
+            gather_inputs.clear();
+            let mut first_of: HashMap<&[usize], u32> =
+                HashMap::with_capacity(gather_rows.len().min(1024));
+            for &row in gather_rows.iter() {
+                let key = &inputs[row * nslots..row * nslots + slot];
+                let u = *first_of.entry(key).or_insert_with(|| {
+                    let next = (gather_inputs.len() / nslots) as u32;
+                    gather_inputs.extend_from_slice(&inputs[row * nslots..(row + 1) * nslots]);
+                    next
+                });
+                unique_of.push(u);
+            }
+            gather_inputs.len() / nslots
+        };
+        dedup_hits += (gather_rows.len() - nuniq) as u64;
+
+        // compact forward over just the unique prefixes
+        match fused {
+            Some(tables) => {
+                net.forward_column_fused(tables, nn, gather_inputs, nuniq, slot, logits);
+                skipped_flops += tables.skipped_layer1_flops(nuniq);
+            }
+            None => net.forward_column_into(nn, gather_inputs, nuniq, slot, logits),
         }
-        net.forward_column_into(scratch, &gather_inputs, gather_rows.len(), slot, &mut logits);
         let width = net.domain_size(slot);
+
+        // one softmax per unique prefix, reused by every duplicate row
+        probs_all.clear();
+        probs_all.reserve(nuniq * width);
+        for u in 0..nuniq {
+            net.row_softmax(logits, u, width, probs);
+            probs_all.extend_from_slice(probs);
+        }
 
         for (gi, &row) in gather_rows.iter().enumerate() {
             let li = row / sp;
             let q = live[li];
             let rng = &mut rngs[li];
             let plan = plans[q].as_ref().expect("live query has a plan");
-            net.row_softmax(&logits, gi, width, &mut probs);
+            let u = unique_of[gi] as usize;
+            let probs = &probs_all[u * width..(u + 1) * width];
             let picked = match &plan[slot] {
                 SlotConstraint::Wildcard => unreachable!("wildcards were filtered"),
-                SlotConstraint::Range(a, b) => sample_range(&probs, *a, *b, &mut p_hat[row], rng),
+                SlotConstraint::Range(a, b) if a == b => {
+                    sample_point(probs, *a, &mut p_hat[row], rng)
+                }
+                SlotConstraint::Range(a, b) => sample_range(probs, *a, *b, &mut p_hat[row], rng),
                 SlotConstraint::Weights(w) => {
                     debug_assert_eq!(w.len(), width);
                     weighted.clear();
                     weighted.extend(probs.iter().zip(w).map(|(&p, &m)| p as f64 * m));
-                    sample_weighted(&weighted, &mut p_hat[row], rng)
+                    sample_weighted(weighted, &mut p_hat[row], rng)
                 }
                 SlotConstraint::FactorLo { lo_idx, hi_idx, base } => {
                     let hi_sampled = inputs[row * nslots + slot - 1];
@@ -141,8 +292,10 @@ pub fn estimate_batch_seeded(
                     if a > b {
                         p_hat[row] = 0.0;
                         None
+                    } else if a == b {
+                        sample_point(probs, a, &mut p_hat[row], rng)
                     } else {
-                        sample_range(&probs, a, b, &mut p_hat[row], rng)
+                        sample_range(probs, a, b, &mut p_hat[row], rng)
                     }
                 }
             };
@@ -178,47 +331,77 @@ pub fn estimate_batch_seeded(
     p.samples.add(rows as u64);
     p.forward_rows.add(forward_rows);
     p.dead_samples.add(dead_samples);
-    results
+    p.dedup_hits.add(dedup_hits);
+    p.layer1_skipped_flops.add(skipped_flops);
 }
 
 /// Parallel batched inference: queries are split into contiguous chunks,
 /// one `std::thread::scope` worker per chunk, all sharing the model
-/// immutably. Each worker keeps its own [`InferScratch`], so the hot path
-/// allocates nothing beyond first-use buffer growth.
+/// immutably. Workers write straight into disjoint chunks of one shared
+/// result buffer (no per-worker result vectors, no final copy) and check
+/// their [`QueryScratch`] out of `pool`, so steady-state micro-batches
+/// reuse grown buffers across calls.
 ///
 /// Because of the per-query seeding invariant (see module docs), the
 /// result is bitwise identical to [`estimate_batch_seeded`] with the same
 /// seeds, for every `threads` value.
+#[allow(clippy::too_many_arguments)]
 pub fn estimate_batch_parallel(
     net: &MadeNet,
     schema: &IamSchema,
     plans: &[Option<Vec<SlotConstraint>>],
     samples_per_query: usize,
     seeds: &[u64],
+    fused: Option<&FusedTables>,
     threads: usize,
+    pool: &ScratchPool,
 ) -> Vec<f64> {
     assert_eq!(plans.len(), seeds.len(), "one seed per query");
+    let mut results = vec![0.0f64; plans.len()];
     let threads = threads.clamp(1, plans.len().max(1));
     if threads == 1 {
-        let mut scratch = InferScratch::new();
-        return estimate_batch_seeded(net, schema, plans, samples_per_query, seeds, &mut scratch);
+        let mut scratch = pool.take();
+        estimate_batch_seeded_into(
+            net,
+            schema,
+            plans,
+            samples_per_query,
+            seeds,
+            fused,
+            &mut scratch,
+            &mut results,
+        );
+        pool.put(scratch);
+        return results;
     }
     let chunk = plans.len().div_ceil(threads);
-    let mut results = vec![0.0f64; plans.len()];
+    // the chunk decomposition must cover every query, tail chunk included:
+    // `chunks`/`chunks_mut` both emit ⌈len/chunk⌉ pieces whose lengths sum
+    // to len, and zipping three decompositions of equal-length slices keeps
+    // them aligned offset for offset
+    assert_eq!(
+        plans.chunks(chunk).map(<[_]>::len).sum::<usize>(),
+        results.len(),
+        "chunk decomposition must cover the tail chunk"
+    );
     std::thread::scope(|s| {
-        let handles: Vec<_> = plans
-            .chunks(chunk)
-            .zip(seeds.chunks(chunk))
-            .map(|(pc, sc)| {
-                s.spawn(move || {
-                    let mut scratch = InferScratch::new();
-                    estimate_batch_seeded(net, schema, pc, samples_per_query, sc, &mut scratch)
-                })
-            })
-            .collect();
-        for (i, h) in handles.into_iter().enumerate() {
-            let part = h.join().expect("inference worker panicked");
-            results[i * chunk..i * chunk + part.len()].copy_from_slice(&part);
+        for ((pc, sc), rc) in
+            plans.chunks(chunk).zip(seeds.chunks(chunk)).zip(results.chunks_mut(chunk))
+        {
+            s.spawn(move || {
+                let mut scratch = pool.take();
+                estimate_batch_seeded_into(
+                    net,
+                    schema,
+                    pc,
+                    samples_per_query,
+                    sc,
+                    fused,
+                    &mut scratch,
+                    rc,
+                );
+                pool.put(scratch);
+            });
         }
     });
     results
@@ -268,6 +451,24 @@ fn sample_range(
     *p_hat *= mass.min(1.0);
     let u = rng.random::<f64>() * mass;
     pick_in_window(probs[a..=b].iter().map(|&p| p as f64), u).map(|j| a + j)
+}
+
+/// Point-constraint short-circuit for `sample_range(probs, a, a, ..)`: a
+/// one-element window has mass `probs[a]` and only one pickable index, so
+/// the cumulative walk is skipped entirely. The RNG stream must stay
+/// identical to the general path, which draws exactly once *after* its
+/// zero-mass check — so this draws (and discards) one `f64` in the same
+/// place, and draws nothing when the mass is zero.
+fn sample_point(probs: &[f32], a: usize, p_hat: &mut f64, rng: &mut StdRng) -> Option<usize> {
+    debug_assert!(a < probs.len());
+    let mass = probs[a] as f64;
+    if mass <= 0.0 {
+        *p_hat = 0.0;
+        return None;
+    }
+    *p_hat *= mass.min(1.0);
+    let _ = rng.random::<f64>();
+    Some(a)
 }
 
 /// Same, but over an already bias-corrected weight vector (`p_AR × P̂_GMM`).
@@ -352,6 +553,36 @@ mod tests {
             let v = sample_range(&probs, 0, 4, &mut p_hat, &mut rng).unwrap();
             assert!(probs[v] > 0.0, "seed {seed} picked zero-mass index {v}");
         }
+    }
+
+    #[test]
+    fn sample_point_matches_degenerate_range_bitwise() {
+        // the short-circuit must reproduce sample_range(probs, a, a, ..)
+        // exactly: same pick, same p_hat bits, same RNG stream afterwards
+        let probs = vec![0.05f32, 0.3, 0.0, 0.65];
+        for a in 0..probs.len() {
+            for seed in 0..50 {
+                let (mut r1, mut r2) = (StdRng::seed_from_u64(seed), StdRng::seed_from_u64(seed));
+                let (mut p1, mut p2) = (0.7f64, 0.7f64);
+                let v1 = sample_range(&probs, a, a, &mut p1, &mut r1);
+                let v2 = sample_point(&probs, a, &mut p2, &mut r2);
+                assert_eq!(v1, v2, "pick diverged at a={a} seed={seed}");
+                assert_eq!(p1.to_bits(), p2.to_bits(), "p_hat diverged at a={a}");
+                assert_eq!(
+                    r1.random::<u64>(),
+                    r2.random::<u64>(),
+                    "RNG stream diverged at a={a} seed={seed}"
+                );
+            }
+        }
+        // zero mass: sample kills without drawing in both paths
+        let (mut r1, mut r2) = (StdRng::seed_from_u64(9), StdRng::seed_from_u64(9));
+        let (mut p1, mut p2) = (1.0f64, 1.0f64);
+        assert!(sample_range(&probs, 2, 2, &mut p1, &mut r1).is_none());
+        assert!(sample_point(&probs, 2, &mut p2, &mut r2).is_none());
+        assert_eq!(p1, 0.0);
+        assert_eq!(p2, 0.0);
+        assert_eq!(r1.random::<u64>(), r2.random::<u64>());
     }
 
     #[test]

@@ -239,6 +239,9 @@ impl IamEstimator {
         let mut flat: Vec<f32> = Vec::new();
         self.net_mut().visit_params(&mut |p, _| flat.extend_from_slice(p));
         w_vec_f32(w, &flat)?;
+        // net_mut invalidated the fused tables (it must assume mutation);
+        // saving only read them, so rebuild right away
+        self.prepare_inference();
         Ok(())
     }
 
@@ -335,6 +338,9 @@ impl IamEstimator {
         if overflow || cursor != flat.len() {
             return Err(PersistError::BadFormat("parameter tensor size mismatch"));
         }
+        // rebuild the fused inference tables from the loaded parameters
+        // (net_mut above invalidated them; they are never persisted)
+        est.prepare_inference();
         Ok(est)
     }
 }

@@ -105,6 +105,14 @@ pub(crate) struct InferProbes {
     /// Per-query mean renormalization mass `mean_s p̂(s)` (ppm of 1.0) —
     /// how much probability mass the constrained supports retain.
     pub renorm_mass_ppm: Arc<Histogram>,
+    /// Forward rows avoided by prefix deduplication (rows whose sampled
+    /// prefix matched an earlier row in the same slot step).
+    pub dedup_hits: Arc<Counter>,
+    /// Layer-1 multiply-accumulate FLOPs replaced by fused-table lookups.
+    pub layer1_skipped_flops: Arc<Counter>,
+    /// Resident size of the fused embedding→layer-1 token tables (bytes);
+    /// 0 when the fused path is disabled.
+    pub table_bytes: Arc<Gauge>,
 }
 
 pub(crate) fn infer() -> &'static InferProbes {
@@ -118,6 +126,9 @@ pub(crate) fn infer() -> &'static InferProbes {
             dead_samples: r.counter("iam_infer_dead_samples_total", &[]),
             samples_per_query: r.histogram("iam_infer_samples_per_query", &[], &POW2_BOUNDS),
             renorm_mass_ppm: r.histogram("iam_infer_renorm_mass_ppm", &[], &MASS_PPM_BOUNDS),
+            dedup_hits: r.counter("iam_infer_dedup_hits_total", &[]),
+            layer1_skipped_flops: r.counter("iam_infer_layer1_skipped_flops_total", &[]),
+            table_bytes: r.gauge("iam_infer_table_bytes", &[]),
         }
     })
 }

@@ -29,6 +29,14 @@ impl Embedding {
         }
     }
 
+    /// The embedding vector of token `id` (used when precomputing fused
+    /// embedding→layer-1 token tables, which fold `W₁ × row(id)` into one
+    /// cached hidden vector per token).
+    pub fn row(&self, id: usize) -> &[f32] {
+        debug_assert!(id < self.rows, "embedding id {id} out of range {}", self.rows);
+        &self.table[id * self.dim..(id + 1) * self.dim]
+    }
+
     /// Gather rows for a batch of ids into `out[offset + b*stride ..]`,
     /// caching ids for backward. `stride` is the full input row width of the
     /// downstream layer so multiple embeddings can write into one buffer.

@@ -1,9 +1,9 @@
 //! (Optionally masked) affine layers with manual backprop.
 //!
 //! The forward/backward kernels are register-blocked: dot products are
-//! split over [`LANES`] independent partial accumulators (making the
+//! split over `LANES` independent partial accumulators (making the
 //! float-summation order explicit so the compiler can vectorise without
-//! reassociating), and the forward micro-kernel processes [`ROW_BLOCK`]
+//! reassociating), and the forward micro-kernel processes `ROW_BLOCK`
 //! batch rows per weight-row load so `w` rows stay in registers/L1. The
 //! per-`(batch, out)` result depends only on the weight row and the input
 //! row — never on which batch block or output range it was computed in —
@@ -37,7 +37,7 @@ fn reduce_lanes(acc: [f32; LANES]) -> f32 {
 /// `l` takes tail element `l`) so the result is a pure function of the
 /// element sequence, not of the caller.
 #[inline(always)]
-fn dot_lanes(w: &[f32], x: &[f32]) -> f32 {
+pub(crate) fn dot_lanes(w: &[f32], x: &[f32]) -> f32 {
     debug_assert_eq!(w.len(), x.len());
     let mut acc = [0.0f32; LANES];
     let mut i = 0;
@@ -114,6 +114,70 @@ fn gemm_bias_rows(
         let xrow = &x[bi * in_dim..(bi + 1) * in_dim];
         for (oj, o) in rows.clone().enumerate() {
             out[bi * width + oj] = bias[o] + dot_lanes(&w[o * in_dim..(o + 1) * in_dim], xrow);
+        }
+    }
+}
+
+/// Group-blocked `out[b][o] = bias[o] + Σ_g w[o][g·group..]·x[b][g·group..]`
+/// where the input row is a concatenation of `in_dim / group` contiguous
+/// groups of width `group` (the per-slot embeddings of the MADE input
+/// layer). Each group's dot product is lane-reduced to a scalar first
+/// ([`dot_lanes`]), then the group scalars are added to the bias in
+/// ascending group order. That makes every output a fixed-group-order sum
+/// of per-`(group, input-group-content)` scalars — the summation order the
+/// fused token-table inference path reproduces exactly, so cached
+/// `W·embed` contributions are bitwise identical to this kernel.
+fn gemm_bias_grouped(
+    w: &[f32],
+    bias: &[f32],
+    in_dim: usize,
+    group: usize,
+    x: &[f32],
+    batch: usize,
+    out: &mut [f32],
+) {
+    debug_assert!(group > 0 && in_dim.is_multiple_of(group), "groups must tile the input row");
+    let out_dim = bias.len();
+    debug_assert_eq!(x.len(), batch * in_dim);
+    debug_assert_eq!(out.len(), batch * out_dim);
+    let ngroups = in_dim / group;
+    let mut b0 = 0;
+    while b0 + ROW_BLOCK <= batch {
+        let xs = [
+            &x[b0 * in_dim..(b0 + 1) * in_dim],
+            &x[(b0 + 1) * in_dim..(b0 + 2) * in_dim],
+            &x[(b0 + 2) * in_dim..(b0 + 3) * in_dim],
+            &x[(b0 + 3) * in_dim..(b0 + 4) * in_dim],
+        ];
+        for o in 0..out_dim {
+            let wrow = &w[o * in_dim..(o + 1) * in_dim];
+            let mut acc = [bias[o]; ROW_BLOCK];
+            for g in 0..ngroups {
+                let gr = g * group..(g + 1) * group;
+                let d = dot4_lanes(
+                    &wrow[gr.clone()],
+                    [&xs[0][gr.clone()], &xs[1][gr.clone()], &xs[2][gr.clone()], &xs[3][gr]],
+                );
+                for r in 0..ROW_BLOCK {
+                    acc[r] += d[r];
+                }
+            }
+            for r in 0..ROW_BLOCK {
+                out[(b0 + r) * out_dim + o] = acc[r];
+            }
+        }
+        b0 += ROW_BLOCK;
+    }
+    for bi in b0..batch {
+        let xrow = &x[bi * in_dim..(bi + 1) * in_dim];
+        for o in 0..out_dim {
+            let wrow = &w[o * in_dim..(o + 1) * in_dim];
+            let mut acc = bias[o];
+            for g in 0..ngroups {
+                let gr = g * group..(g + 1) * group;
+                acc += dot_lanes(&wrow[gr.clone()], &xrow[gr]);
+            }
+            out[bi * out_dim + o] = acc;
         }
     }
 }
@@ -237,6 +301,43 @@ impl Linear {
     pub fn forward_no_cache(&self, x: &[f32], batch: usize, out: &mut Vec<f32>) {
         out.resize(batch * self.out_dim, 0.0);
         gemm_bias_rows(&self.w, &self.b, self.in_dim, 0..self.out_dim, x, batch, out);
+    }
+
+    /// Grouped forward (see `gemm_bias_grouped`): the input row is
+    /// treated as `in_dim / group` contiguous groups and every output is a
+    /// fixed-group-order sum of per-group scalar dots plus the bias. Used
+    /// for the MADE input layer (one group per slot embedding) on *every*
+    /// path — training, inference, and the fused token-table path — so the
+    /// three agree bitwise. Caches the input for a backward pass.
+    pub fn forward_grouped(&mut self, x: &[f32], batch: usize, group: usize, out: &mut Vec<f32>) {
+        debug_assert_eq!(x.len(), batch * self.in_dim);
+        out.resize(batch * self.out_dim, 0.0);
+        self.last_input.clear();
+        self.last_input.extend_from_slice(x);
+        self.last_batch = batch;
+        self.forward_grouped_no_cache(x, batch, group, out);
+    }
+
+    /// [`Self::forward_grouped`] without the backward cache.
+    pub fn forward_grouped_no_cache(
+        &self,
+        x: &[f32],
+        batch: usize,
+        group: usize,
+        out: &mut Vec<f32>,
+    ) {
+        out.resize(batch * self.out_dim, 0.0);
+        gemm_bias_grouped(&self.w, &self.b, self.in_dim, group, x, batch, out);
+    }
+
+    /// One group's scalar contribution to output unit `o`: the lane-reduced
+    /// dot of weight row `o`'s `[offset, offset + x.len())` block against
+    /// `x`. This is exactly the scalar `gemm_bias_grouped` adds for that
+    /// group, so values cached from here (the fused token tables) replay
+    /// the grouped kernel bit for bit.
+    pub fn group_dot(&self, o: usize, offset: usize, x: &[f32]) -> f32 {
+        let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
+        dot_lanes(&row[offset..offset + x.len()], x)
     }
 
     /// Forward computing only output rows `rows` (inference): writes
@@ -405,6 +506,41 @@ mod tests {
                 assert_eq!(&part[b * 7..(b + 1) * 7], &full[b * 19 + 6..b * 19 + 13]);
             }
         }
+    }
+
+    #[test]
+    fn grouped_forward_is_a_fixed_order_sum_of_group_dots() {
+        // the grouped kernel must equal bias + per-group dot_lanes scalars
+        // added in ascending group order, for every batch position (micro-
+        // kernel block and scalar tail alike) — the contract the fused
+        // token tables rely on
+        let mut init = Initializer::new(11);
+        let l = Linear::new(4 * 6, 9, &mut init); // 4 groups of width 6
+        let x: Vec<f32> = (0..7 * 24).map(|i| ((i * 17 + 3) % 29) as f32 * 0.11 - 1.2).collect();
+        for batch in [1usize, 3, 4, 5, 7] {
+            let mut got = Vec::new();
+            l.forward_grouped_no_cache(&x[..batch * 24], batch, 6, &mut got);
+            for b in 0..batch {
+                let xrow = &x[b * 24..(b + 1) * 24];
+                for o in 0..9 {
+                    let mut want = l.b[o];
+                    for g in 0..4 {
+                        want += l.group_dot(o, g * 6, &xrow[g * 6..(g + 1) * 6]);
+                    }
+                    assert_eq!(
+                        want.to_bits(),
+                        got[b * 9 + o].to_bits(),
+                        "batch {batch} row {b} out {o}"
+                    );
+                }
+            }
+        }
+        // one group spanning the whole row degenerates to the plain kernel
+        let mut flat = Vec::new();
+        let mut whole = Vec::new();
+        l.forward_no_cache(&x[..5 * 24], 5, &mut flat);
+        l.forward_grouped_no_cache(&x[..5 * 24], 5, 24, &mut whole);
+        assert_eq!(flat, whole);
     }
 
     #[test]

@@ -79,6 +79,51 @@ impl InferScratch {
     }
 }
 
+/// Precomputed per-(slot, token) first-layer contributions: since the
+/// input row of the MADE first layer is a concatenation of per-slot
+/// embeddings, `T[slot][token] = W₁[:, slot·e..(slot+1)·e] × embed_slot(token)`
+/// can be cached once per model (reduced domains are tiny, K ≈ 30 plus one
+/// MASK row). The first hidden layer then becomes a fixed-slot-order sum
+/// of `nslots` cached hidden-dim vectors plus bias — the exact scalars, in
+/// the exact order, the grouped input-layer kernel produces
+/// (`Linear::forward_grouped_no_cache` with one group per slot), so fused
+/// and non-fused forwards agree bitwise. The O(nslots·e·h₀) layer-1 GEMM
+/// per row collapses to O(nslots·h₀) adds, and the embedding gather is
+/// skipped entirely.
+///
+/// Tables are a pure function of the first layer's weights and the
+/// embedding tables: rebuild after every parameter update (training,
+/// snapshot load).
+#[derive(Debug, Clone)]
+pub struct FusedTables {
+    /// Per slot: `(domain_size + 1) × hidden₀` row-major token table (the
+    /// extra row is the MASK token).
+    slots: Vec<Vec<f32>>,
+    /// First hidden layer width.
+    h0: usize,
+    /// Per-slot embedding width at build time (for flop accounting).
+    embed_dim: usize,
+}
+
+impl FusedTables {
+    /// Resident size of the cached tables, in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.slots.iter().map(|t| std::mem::size_of_val(t.as_slice())).sum()
+    }
+
+    /// First hidden layer width.
+    pub fn hidden0(&self) -> usize {
+        self.h0
+    }
+
+    /// Nominal first-layer FLOPs a fused forward of `rows` sample rows
+    /// avoids: per (hidden unit, slot) a `2·e`-flop dot product collapses
+    /// to one add.
+    pub fn skipped_layer1_flops(&self, rows: usize) -> u64 {
+        (rows * self.slots.len() * self.h0) as u64 * (2 * self.embed_dim as u64 - 1)
+    }
+}
+
 /// Per-shard training scratch for [`MadeNet::train_batch_sharded`]:
 /// activations, ReLU activation masks, activation gradients and private
 /// parameter-gradient buffers. One scratch per shard (not per thread) so
@@ -298,11 +343,21 @@ impl MadeNet {
         assert_eq!(inputs.len(), batch * self.ncols());
         self.embed(inputs, batch, cache);
         let nlayers = self.layers.len();
+        let e = self.cfg.embed_dim;
         for l in 0..nlayers {
             let (head, tail) = self.bufs.split_at_mut(l + 1);
             let x = &head[l];
             let y = &mut tail[0];
-            if cache {
+            // the input layer runs the grouped kernel (one group per slot
+            // embedding) on every path so the fused token-table inference
+            // path can replay it bitwise from cached per-token vectors
+            if l == 0 {
+                if cache {
+                    self.layers[0].forward_grouped(x, batch, e, y);
+                } else {
+                    self.layers[0].forward_grouped_no_cache(x, batch, e, y);
+                }
+            } else if cache {
                 self.layers[l].forward(x, batch, y);
             } else {
                 self.layers[l].forward_no_cache(x, batch, y);
@@ -372,12 +427,102 @@ impl MadeNet {
                 emb.gather(ids, buf, c * e, stride);
             }
         }
+        {
+            let (head, tail) = bufs.split_at_mut(1);
+            self.layers[0].forward_grouped_no_cache(&head[0], batch, e, &mut tail[0]);
+        }
+        self.finish_forward_column(bufs, batch, col, out);
+    }
 
+    /// Precompute the fused embedding→layer-1 token tables for this model's
+    /// current parameters (see [`FusedTables`]). Cheap relative to one
+    /// training epoch: `Σ_slots (domain+1) · h₀` dot products of width `e`.
+    pub fn build_fused_tables(&self) -> FusedTables {
+        let e = self.cfg.embed_dim;
+        let l0 = &self.layers[0];
+        let h0 = l0.out_dim;
+        let slots = self
+            .embeddings
+            .iter()
+            .enumerate()
+            .map(|(s, emb)| {
+                let mut table = vec![0.0f32; emb.rows * h0];
+                for tok in 0..emb.rows {
+                    let erow = emb.row(tok);
+                    for k in 0..h0 {
+                        table[tok * h0 + k] = l0.group_dot(k, s * e, erow);
+                    }
+                }
+                table
+            })
+            .collect();
+        FusedTables { slots, h0, embed_dim: e }
+    }
+
+    /// [`Self::forward_column_into`] through precomputed token tables: the
+    /// embedding gather and the first-layer GEMM are replaced by summing
+    /// `nslots` cached hidden-dim vectors onto the bias, in ascending slot
+    /// order — bitwise identical to the grouped non-fused path (the cached
+    /// vectors ARE the grouped kernel's per-group scalars; see
+    /// [`FusedTables`]). `tables` must have been built from this model's
+    /// current parameters.
+    pub fn forward_column_fused(
+        &self,
+        tables: &FusedTables,
+        scratch: &mut InferScratch,
+        inputs: &[usize],
+        batch: usize,
+        col: usize,
+        out: &mut Vec<f32>,
+    ) {
+        let n = self.ncols();
+        assert_eq!(inputs.len(), batch * n);
+        debug_assert_eq!(tables.slots.len(), n, "tables built for a different model");
+        let nlayers = self.layers.len();
+        scratch.ensure_layers(nlayers);
+        let bufs = &mut scratch.bufs;
+        let h0 = tables.h0;
+        let bias = &self.layers[0].b;
+        {
+            let buf = &mut bufs[1];
+            buf.resize(batch * h0, 0.0);
+            for b in 0..batch {
+                let y = &mut buf[b * h0..(b + 1) * h0];
+                y.copy_from_slice(bias);
+                for (s, table) in tables.slots.iter().enumerate() {
+                    let tok = inputs[b * n + s];
+                    let trow = &table[tok * h0..(tok + 1) * h0];
+                    for (yk, tk) in y.iter_mut().zip(trow) {
+                        *yk += tk;
+                    }
+                }
+            }
+        }
+        self.finish_forward_column(bufs, batch, col, out);
+    }
+
+    /// Shared inference tail: `bufs[1]` holds the first layer's
+    /// pre-activations; apply its ReLU, run the remaining hidden layers,
+    /// and produce column `col`'s logits. (`skip_from[0]` is always false —
+    /// the input layer has no residual — so `bufs[0]` is never read and the
+    /// fused path may leave it stale.)
+    fn finish_forward_column(
+        &self,
+        bufs: &mut [Vec<f32>],
+        batch: usize,
+        col: usize,
+        out: &mut Vec<f32>,
+    ) {
+        let nlayers = self.layers.len();
+        debug_assert!(!self.skip_from[0]);
         for l in 0..nlayers - 1 {
+            if l > 0 {
+                let (head, tail) = bufs.split_at_mut(l + 1);
+                self.layers[l].forward_no_cache(&head[l], batch, &mut tail[0]);
+            }
             let (head, tail) = bufs.split_at_mut(l + 1);
             let x = &head[l];
             let y = &mut tail[0];
-            self.layers[l].forward_no_cache(x, batch, y);
             Relu::forward_no_cache(y);
             if self.skip_from[l] {
                 for (yi, xi) in y.iter_mut().zip(x.iter()) {
@@ -591,12 +736,17 @@ impl MadeNet {
             }
         }
 
-        // forward, recording activation patterns per shard
+        // forward, recording activation patterns per shard; the input
+        // layer uses the grouped kernel, matching the inference paths
         for l in 0..nlayers {
             let (head, tail) = bufs.split_at_mut(l + 1);
             let x = &head[l];
             let y = &mut tail[0];
-            self.layers[l].forward_no_cache(x, rows, y);
+            if l == 0 {
+                self.layers[0].forward_grouped_no_cache(x, rows, e, y);
+            } else {
+                self.layers[l].forward_no_cache(x, rows, y);
+            }
             if l + 1 < nlayers {
                 Relu::forward_masked(y, &mut masks[l]);
                 if self.skip_from[l] {
@@ -877,6 +1027,62 @@ mod tests {
             net.forward_column_into(&mut scratch, &inputs, 2, col, &mut via_ref);
             assert_eq!(via_mut, via_ref, "col {col}");
         }
+    }
+
+    #[test]
+    fn fused_forward_matches_unfused_bitwise() {
+        let mut net = tiny_net(vec![4, 3, 5], 19);
+        // make the weights non-trivial: a few training steps
+        let data: Vec<usize> = (0..60).map(|i| [i % 4, i % 3, i % 5][i % 3]).collect();
+        let mut opt = Adam::new(AdamConfig::default());
+        for chunk in data.chunks_exact(30) {
+            net.train_batch(chunk, chunk, 10);
+            opt.step(&mut net);
+        }
+        let tables = net.build_fused_tables();
+        assert!(tables.size_bytes() > 0);
+        // inputs covering sampled values and MASK tokens
+        let inputs = [
+            1usize,
+            2,
+            0,
+            net.mask_token(0),
+            net.mask_token(1),
+            net.mask_token(2),
+            3,
+            net.mask_token(1),
+            4,
+        ];
+        let mut scratch = InferScratch::new();
+        for col in 0..3 {
+            let mut plain = Vec::new();
+            net.forward_column_into(&mut scratch, &inputs, 3, col, &mut plain);
+            let mut fused = Vec::new();
+            net.forward_column_fused(&tables, &mut scratch, &inputs, 3, col, &mut fused);
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&plain), bits(&fused), "col {col}");
+        }
+    }
+
+    #[test]
+    fn fused_tables_track_parameter_updates() {
+        let mut net = tiny_net(vec![3, 3], 23);
+        let stale = net.build_fused_tables();
+        let data = [0usize, 1, 2, 0, 1, 2];
+        let mut opt = Adam::new(AdamConfig::default());
+        net.train_batch(&data, &data, 3);
+        opt.step(&mut net);
+        let fresh = net.build_fused_tables();
+        let inputs = [net.mask_token(0), net.mask_token(1)];
+        let mut scratch = InferScratch::new();
+        let mut want = Vec::new();
+        net.forward_column_into(&mut scratch, &inputs, 1, 1, &mut want);
+        let mut got = Vec::new();
+        net.forward_column_fused(&fresh, &mut scratch, &inputs, 1, 1, &mut got);
+        assert_eq!(want, got);
+        let mut old = Vec::new();
+        net.forward_column_fused(&stale, &mut scratch, &inputs, 1, 1, &mut old);
+        assert_ne!(want, old, "stale tables must not match the updated model");
     }
 
     #[test]

@@ -325,8 +325,20 @@ impl Client {
 /// shutdown flag.
 const IDLE_POLL: Duration = Duration::from_millis(20);
 
+/// Worker-owned buffers for [`process_batch`], reused across micro-batches
+/// so the steady-state batch path performs no per-batch allocation beyond
+/// the query clones and reply sends it fundamentally needs.
+#[derive(Default)]
+struct BatchScratch {
+    live: Vec<Request>,
+    slot_of: HashMap<u64, usize>,
+    queries: Vec<RangeQuery>,
+    slots: Vec<usize>,
+}
+
 fn worker_loop(inner: &ServiceInner) {
     let mut batch: Vec<Request> = Vec::with_capacity(inner.cfg.max_batch.max(1));
+    let mut scratch = BatchScratch::default();
     loop {
         batch.clear();
         {
@@ -375,7 +387,7 @@ fn worker_loop(inner: &ServiceInner) {
                         while !rest.is_empty() {
                             let take = rest.len().min(inner.cfg.max_batch.max(1));
                             let mut b: Vec<Request> = rest.drain(..take).collect();
-                            process_batch(inner, &mut b);
+                            process_batch(inner, &mut b, &mut scratch);
                         }
                         return;
                     }
@@ -385,18 +397,24 @@ fn worker_loop(inner: &ServiceInner) {
             }
         }
         inner.metrics.dequeued(batch.len());
-        process_batch(inner, &mut batch);
+        process_batch(inner, &mut batch, &mut scratch);
     }
 }
 
 /// Answer one coalesced batch: expire dead requests, deduplicate by
 /// canonical key, run a single batched inference call, reply and cache.
-fn process_batch(inner: &ServiceInner, batch: &mut Vec<Request>) {
+/// `scratch` is worker-owned and reused across batches.
+fn process_batch(inner: &ServiceInner, batch: &mut Vec<Request>, scratch: &mut BatchScratch) {
     let version: Arc<ModelVersion> = inner.registry.current();
     let now = Instant::now();
 
+    let BatchScratch { live, slot_of, queries, slots } = scratch;
+    live.clear();
+    slot_of.clear();
+    queries.clear();
+    slots.clear();
+
     // expire requests whose client has already given up
-    let mut live: Vec<Request> = Vec::with_capacity(batch.len());
     for req in batch.drain(..) {
         if now >= req.deadline {
             let _ = req.reply.try_send(Err(ServeError::Timeout));
@@ -411,10 +429,7 @@ fn process_batch(inner: &ServiceInner, batch: &mut Vec<Request>) {
     // deduplicate: identical canonical keys share one model evaluation
     // (and, by the seeding invariant, would produce identical results
     // anyway — this just avoids paying for them twice)
-    let mut slot_of: HashMap<u64, usize> = HashMap::with_capacity(live.len());
-    let mut queries: Vec<RangeQuery> = Vec::with_capacity(live.len());
-    let mut slots: Vec<usize> = Vec::with_capacity(live.len());
-    for req in &live {
+    for req in live.iter() {
         let slot = *slot_of.entry(req.key).or_insert_with(|| {
             queries.push(req.query.clone());
             queries.len() - 1
@@ -422,13 +437,16 @@ fn process_batch(inner: &ServiceInner, batch: &mut Vec<Request>) {
         slots.push(slot);
     }
 
-    let estimates = version.model.estimate_batch_shared(&queries, inner.cfg.inner_threads);
+    let estimates = version.model.estimate_batch_shared(queries, inner.cfg.inner_threads);
     inner.metrics.batch(live.len(), queries.len());
 
-    for (req, &slot) in live.iter().zip(&slots) {
+    for (req, &slot) in live.iter().zip(slots.iter()) {
         let value = estimates[slot];
         inner.cache.insert(req.key, version.id, value);
         let _ = req.reply.try_send(Ok(value));
         inner.metrics.latency(req.enqueued.elapsed());
     }
+    // replies are sent; drop the request handles now rather than holding
+    // them (and their channels) alive until the next batch arrives
+    live.clear();
 }

@@ -8,6 +8,7 @@ cargo bench -p iam-bench --bench table5_imdb
 cargo bench -p iam-bench --bench fig4_inference_time
 cargo bench -p iam-bench --bench table6_model_size
 cargo bench -p iam-bench --bench table7_batch
+cargo bench -p iam-bench --bench table7_batch_inference
 cargo bench -p iam-bench --bench fig5_end_to_end
 cargo bench -p iam-bench --bench fig6_training_curve
 cargo bench -p iam-bench --bench table8_training_time
