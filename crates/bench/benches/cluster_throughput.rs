@@ -1,0 +1,235 @@
+//! Cluster throughput: the distributed scatter/gather path vs
+//! single-process batched inference, with per-stage span timings.
+//!
+//! Spins up three in-process `iam-dist` workers (real TCP on loopback —
+//! the same code path as the multi-process binary), ships one model per
+//! table with 2-way replication, and drives mixed batches through
+//! [`Coordinator::estimate_batch`]. The single-process baseline answers
+//! the identical batches with `estimate_batch_shared` directly, so the gap
+//! is exactly the distribution tax: framing, TCP, the service queue, and
+//! the scatter/gather threads. On a single-core host the cluster cannot
+//! win — the number to watch is the per-stage breakdown (`dist.partition`
+//! / `dist.rpc` / `dist.merge`, collected via `iam-obs` spans), which
+//! shows where the tax is paid and how much parallel-host headroom the
+//! rpc stage has.
+//!
+//! Every cluster answer is asserted bit-identical to the baseline before
+//! timing starts.
+//!
+//! Results go to `BENCH_cluster.json` at the repository root, stamped with
+//! the detected host parallelism (honesty metadata: qps and span numbers
+//! from a 1-core container are not comparable to a parallel host).
+//!
+//! Environment knobs: `IAM_BENCH_CLUSTER_REQUESTS` (queries per
+//! configuration, default 1024), `IAM_BENCH_CLUSTER_BATCH` (queries per
+//! coordinator batch, default 64).
+
+use iam_core::{IamConfig, IamEstimator};
+use iam_data::synth::Dataset;
+use iam_data::{RangeQuery, WorkloadConfig, WorkloadGenerator};
+use iam_dist::{ClusterQuery, Coordinator, DistConfig, WorkerConfig, WorkerHandle};
+use iam_obs::span;
+use std::time::Instant;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn train(dataset: Dataset, seed: u64) -> (IamEstimator, Vec<RangeQuery>) {
+    let table = dataset.generate(8_000, seed);
+    let cfg = IamConfig {
+        components: 6,
+        hidden: vec![32, 32],
+        embed_dim: 6,
+        epochs: 1,
+        samples: 100,
+        seed,
+        ..IamConfig::small()
+    };
+    let est = IamEstimator::fit(&table, cfg);
+    let mut gen = WorkloadGenerator::new(&table, WorkloadConfig::default(), seed ^ 0x5A);
+    let queries =
+        gen.gen_queries(128).iter().map(|q| q.normalize(table.ncols()).unwrap().0).collect();
+    (est, queries)
+}
+
+/// Aggregate of one coordinator stage across the timed run.
+struct Stage {
+    name: &'static str,
+    calls: u64,
+    total_us: u64,
+}
+
+fn collect_stages() -> Vec<Stage> {
+    let mut stages: Vec<Stage> =
+        ["dist.scatter_gather", "dist.partition", "dist.rpc", "dist.merge"]
+            .iter()
+            .map(|&name| Stage { name, calls: 0, total_us: 0 })
+            .collect();
+    for (path, agg) in span::report() {
+        let leaf = path.rsplit(';').next().unwrap_or(&path);
+        if let Some(st) = stages.iter_mut().find(|s| s.name == leaf) {
+            st.calls += agg.count;
+            st.total_us += agg.total_us;
+        }
+    }
+    stages
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    requests: usize,
+    batch: usize,
+    workers: usize,
+    replicas: usize,
+    single_qps: f64,
+    cluster_qps: f64,
+    stages: &[Stage],
+    host_parallelism: usize,
+) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cluster.json");
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"host_parallelism\": {host_parallelism},\n"));
+    s.push_str(&format!("  \"workers\": {workers},\n"));
+    s.push_str(&format!("  \"replicas\": {replicas},\n"));
+    s.push_str(&format!("  \"requests\": {requests},\n"));
+    s.push_str(&format!("  \"batch\": {batch},\n"));
+    s.push_str(&format!("  \"single_process_qps\": {single_qps:.1},\n"));
+    s.push_str(&format!("  \"cluster_qps\": {cluster_qps:.1},\n"));
+    s.push_str("  \"stages\": [\n");
+    for (i, st) in stages.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"span\": \"{}\", \"calls\": {}, \"total_us\": {}}}{}\n",
+            st.name,
+            st.calls,
+            st.total_us,
+            if i + 1 < stages.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    match std::fs::write(path, &s) {
+        Ok(()) => eprintln!("[cluster_throughput] wrote {path}"),
+        Err(e) => eprintln!("[cluster_throughput] could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let requests = env_usize("IAM_BENCH_CLUSTER_REQUESTS", 1024);
+    let batch_size = env_usize("IAM_BENCH_CLUSTER_BATCH", 64);
+    let host_parallelism = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    println!("training per-table models …");
+    let (mut wisdm, wisdm_queries) = train(Dataset::Wisdm, 7);
+    let (mut twi, twi_queries) = train(Dataset::Twi, 11);
+
+    // the batch stream: alternating tables, so every coordinator batch
+    // scatters to both table groups
+    let pool: Vec<ClusterQuery> = wisdm_queries
+        .iter()
+        .map(|q| ClusterQuery { table: "wisdm".into(), query: q.clone() })
+        .chain(twi_queries.iter().map(|q| ClusterQuery { table: "twi".into(), query: q.clone() }))
+        .collect();
+    let expect: Vec<u64> = wisdm
+        .estimate_batch_shared(&wisdm_queries, 1)
+        .iter()
+        .chain(twi.estimate_batch_shared(&twi_queries, 1).iter())
+        .map(|v| v.to_bits())
+        .collect();
+
+    // --- cluster up: 3 workers, 2-way replicas --------------------------
+    const WORKERS: usize = 3;
+    const REPLICAS: usize = 2;
+    let workers: Vec<WorkerHandle> = (0..WORKERS)
+        .map(|_| WorkerHandle::spawn("127.0.0.1:0", WorkerConfig::default()).expect("bind worker"))
+        .collect();
+    let addrs = workers.iter().map(|w| w.addr).collect();
+    let coord = Coordinator::new(
+        addrs,
+        &["wisdm", "twi"],
+        DistConfig { replicas: REPLICAS, ..DistConfig::default() },
+    );
+    for (table, model) in [("wisdm", &mut wisdm), ("twi", &mut twi)] {
+        for outcome in coord.deploy_model(table, model, "v1").expect("serialise snapshot") {
+            outcome.result.expect("ship snapshot");
+        }
+    }
+
+    // correctness gate + warm-up (connections, caches) before any timing
+    for (i, r) in coord.estimate_batch(&pool).iter().enumerate() {
+        assert_eq!(
+            r.as_ref().expect("warm-up query failed").to_bits(),
+            expect[i],
+            "cluster answer {i} differs from single-process inference"
+        );
+    }
+
+    let chunk_at = |i: usize| -> Vec<ClusterQuery> {
+        (0..batch_size).map(|j| pool[(i + j) % pool.len()].clone()).collect()
+    };
+
+    // --- single-process baseline ----------------------------------------
+    // identical batches, answered by direct batched inference per table
+    let t0 = Instant::now();
+    let mut done = 0;
+    while done < requests {
+        let chunk = chunk_at(done);
+        let (mut w, mut t) = (Vec::new(), Vec::new());
+        for cq in &chunk {
+            if cq.table == "wisdm" { &mut w } else { &mut t }.push(cq.query.clone());
+        }
+        std::hint::black_box(wisdm.estimate_batch_shared(&w, 1));
+        std::hint::black_box(twi.estimate_batch_shared(&t, 1));
+        done += chunk.len();
+    }
+    let single_qps = done as f64 / t0.elapsed().as_secs_f64();
+
+    // --- cluster, with per-stage spans ----------------------------------
+    span::enable();
+    span::reset();
+    let t0 = Instant::now();
+    let mut done = 0;
+    let mut skipped = 0usize;
+    while done < requests {
+        let chunk = chunk_at(done);
+        done += chunk.len();
+        skipped += coord.estimate_batch(&chunk).iter().filter(|r| r.is_err()).count();
+    }
+    let cluster_qps = done as f64 / t0.elapsed().as_secs_f64();
+    span::disable();
+    assert_eq!(skipped, 0, "healthy cluster skipped queries");
+
+    let stages = collect_stages();
+    println!(
+        "\ncluster throughput — {WORKERS} workers × {REPLICAS} replicas, \
+         batch {batch_size}, {done} queries, host parallelism {host_parallelism}"
+    );
+    println!("{:<22}  {:>10}", "config", "q/s");
+    println!("{:<22}  {:>10.1}", "single process", single_qps);
+    println!("{:<22}  {:>10.1}", "cluster (loopback)", cluster_qps);
+    println!("\n{:<22}  {:>8}  {:>12}  {:>10}", "stage", "calls", "total (µs)", "µs/call");
+    for st in &stages {
+        println!(
+            "{:<22}  {:>8}  {:>12}  {:>10.1}",
+            st.name,
+            st.calls,
+            st.total_us,
+            st.total_us as f64 / st.calls.max(1) as f64
+        );
+    }
+
+    write_json(
+        done,
+        batch_size,
+        WORKERS,
+        REPLICAS,
+        single_qps,
+        cluster_qps,
+        &stages,
+        host_parallelism,
+    );
+
+    coord.shutdown_cluster();
+    for w in workers {
+        w.stop();
+    }
+}

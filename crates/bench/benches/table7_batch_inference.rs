@@ -46,7 +46,11 @@ fn run_config(est: &IamEstimator, pool: &[RangeQuery], requests: usize, batch: u
 
 fn write_json(rows: &[Row], requests: usize) {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_inference.json");
+    // honesty metadata: numbers from a 1-core container are not comparable
+    // to a parallel host, so stamp what the run actually had
+    let host_parallelism = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let mut s = String::from("{\n");
+    s.push_str(&format!("  \"host_parallelism\": {host_parallelism},\n"));
     s.push_str(&format!("  \"requests_per_config\": {requests},\n"));
     s.push_str("  \"configs\": [\n");
     for (i, r) in rows.iter().enumerate() {

@@ -22,6 +22,12 @@ use iam_nn::Parameters;
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 4] = b"IAM1";
+/// Magic prefix of the framed snapshot envelope (see
+/// [`IamEstimator::save_framed`]).
+pub const FRAME_MAGIC: &[u8; 4] = b"IAMF";
+/// Upper bound on a framed snapshot's payload length; longer length
+/// prefixes are rejected as corrupt before any allocation happens.
+pub const MAX_SNAPSHOT_BYTES: u64 = 1 << 32;
 
 /// Errors raised by save/load.
 #[derive(Debug)]
@@ -343,6 +349,56 @@ impl IamEstimator {
         est.prepare_inference();
         Ok(est)
     }
+
+    /// Serialise into a self-delimiting **framed** envelope:
+    /// `IAMF` magic, little-endian payload length, the [`Self::save`]
+    /// payload, and an FNV-1a-64 checksum of the payload. The frame makes a
+    /// snapshot safe to ship over a byte stream — a receiver can tell a
+    /// complete, uncorrupted snapshot from a torn or bit-flipped one
+    /// *before* attempting to install it (see `iam-dist` snapshot
+    /// shipping).
+    pub fn save_framed<W: Write>(&mut self, w: &mut W) -> Result<(), PersistError> {
+        let mut payload = Vec::new();
+        self.save(&mut payload)?;
+        w.write_all(FRAME_MAGIC)?;
+        w_u64(w, payload.len() as u64)?;
+        w.write_all(&payload)?;
+        w_u64(w, fnv1a(&payload))?;
+        Ok(())
+    }
+
+    /// Deserialise a [`Self::save_framed`] envelope, verifying the length
+    /// bound and checksum before parsing the payload. Truncated input,
+    /// implausible length prefixes, and checksum mismatches all fail
+    /// cleanly with the active bytes untouched.
+    pub fn load_framed<R: Read>(r: &mut R) -> Result<IamEstimator, PersistError> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != FRAME_MAGIC {
+            return Err(PersistError::BadFormat("missing IAMF frame magic"));
+        }
+        let len = r_u64(r)?;
+        if len > MAX_SNAPSHOT_BYTES {
+            return Err(PersistError::BadFormat("implausible snapshot length"));
+        }
+        let mut payload = vec![0u8; len as usize];
+        r.read_exact(&mut payload)?;
+        let want = r_u64(r)?;
+        if fnv1a(&payload) != want {
+            return Err(PersistError::BadFormat("snapshot checksum mismatch"));
+        }
+        Self::load(&mut payload.as_slice())
+    }
+}
+
+/// FNV-1a-64 over a byte slice (the framed-snapshot checksum).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
 #[cfg(test)]
@@ -402,6 +458,50 @@ mod tests {
     fn garbage_input_is_rejected() {
         assert!(IamEstimator::load(&mut &b"NOPE"[..]).is_err());
         assert!(IamEstimator::load(&mut &b"IAM1\x01\x02"[..]).is_err());
+    }
+
+    #[test]
+    fn framed_round_trip_and_corruption_detection() {
+        let table = Dataset::Twi.generate(1200, 4);
+        let small = IamConfig { epochs: 1, samples: 80, ..cfg() };
+        let mut est = IamEstimator::fit(&table, small);
+        let mut framed = Vec::new();
+        est.save_framed(&mut framed).unwrap();
+
+        // round trip is bit-identical on the shared inference path
+        let loaded = IamEstimator::load_framed(&mut framed.as_slice()).unwrap();
+        let mut gen = WorkloadGenerator::new(&table, WorkloadConfig::default(), 6);
+        let queries: Vec<_> =
+            gen.gen_queries(5).iter().map(|q| q.normalize(2).unwrap().0).collect();
+        let a = est.estimate_batch_shared(&queries, 1);
+        let b = loaded.estimate_batch_shared(&queries, 1);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+
+        // every truncation fails cleanly (torn ship)
+        for cut in [0, 3, 4, 11, 12, framed.len() / 2, framed.len() - 1] {
+            assert!(
+                IamEstimator::load_framed(&mut &framed[..cut]).is_err(),
+                "truncation at {cut} must be rejected"
+            );
+        }
+        // a single flipped payload bit fails the checksum
+        let mut flipped = framed.clone();
+        let mid = 12 + (framed.len() - 20) / 2;
+        flipped[mid] ^= 0x40;
+        match IamEstimator::load_framed(&mut flipped.as_slice()) {
+            Err(e) => assert!(e.to_string().contains("checksum"), "got {e}"),
+            Ok(_) => panic!("flipped payload bit must fail the checksum"),
+        }
+        // an implausible length prefix is rejected before allocating
+        let mut huge = framed.clone();
+        huge[4..12].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(IamEstimator::load_framed(&mut huge.as_slice()).is_err());
+        // wrong magic (a raw IAM1 snapshot is not a frame)
+        let mut raw = Vec::new();
+        est.save(&mut raw).unwrap();
+        assert!(IamEstimator::load_framed(&mut raw.as_slice()).is_err());
     }
 
     #[test]

@@ -1,0 +1,403 @@
+//! The cluster coordinator: membership, placement, scatter/gather, and
+//! snapshot shipping.
+//!
+//! # Request path
+//!
+//! [`Coordinator::estimate_batch`] takes a client batch of
+//! `(table, query)` pairs and answers it in three stages, each under an
+//! `iam-obs` span:
+//!
+//! 1. **partition** (`dist.partition`) — group the batch by table,
+//!    remembering each query's original position;
+//! 2. **scatter** (`dist.rpc`) — one thread per table group sends the
+//!    group to a replica chosen by the placement map's round-robin
+//!    rotation. A failed RPC (connect/read/write error, deadline, or an
+//!    application error such as a replica that missed its snapshot) tears
+//!    down that worker's connection and retries the group on the next
+//!    replica in the rotation; when every replica has failed the group's
+//!    queries are *skipped with an error* rather than stalling the batch;
+//! 3. **merge** (`dist.merge`) — scatter results are written back into
+//!    input order.
+//!
+//! Because a worker's estimates are a pure function of (model bytes,
+//! query) — persistence is bitwise-lossless and serving is
+//! deterministic — it does not matter *which* replica answers: any
+//! non-skipped answer is bit-identical to single-process inference.
+//!
+//! # Snapshot shipping
+//!
+//! [`Coordinator::ship_snapshot`] streams a framed model snapshot to every
+//! replica of a table; each worker checksums and parses the bytes fully
+//! before flipping its registry's atomic hot-swap, so a refresh propagates
+//! with zero dropped requests and no replica ever serves a torn model.
+
+use crate::error::DistError;
+use crate::placement::{PlacementMap, WorkerId};
+use crate::proto::{read_msg, write_msg, Msg, MAX_FRAME};
+use iam_core::IamEstimator;
+use iam_data::RangeQuery;
+use iam_obs::Registry;
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`Coordinator::new`].
+#[derive(Debug, Clone)]
+pub struct DistConfig {
+    /// Replicas per table (clamped to the worker count).
+    pub replicas: usize,
+    /// Deadline for one client batch RPC, shared across its failover
+    /// attempts: retries use whatever time remains.
+    pub rpc_timeout: Duration,
+    /// Deadline for establishing a worker connection.
+    pub connect_timeout: Duration,
+    /// Deadline for one snapshot ship per replica (ships move model
+    /// bytes, so they get more time than estimate RPCs).
+    pub ship_timeout: Duration,
+    /// Largest reply frame accepted from a worker.
+    pub max_frame: u32,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        DistConfig {
+            replicas: 2,
+            rpc_timeout: Duration::from_secs(10),
+            connect_timeout: Duration::from_secs(2),
+            ship_timeout: Duration::from_secs(30),
+            max_frame: MAX_FRAME,
+        }
+    }
+}
+
+/// A lazily (re)connected worker endpoint. The stream mutex serialises
+/// RPCs to one worker (scatter parallelism is across workers); any failure
+/// drops the stream so the next RPC reconnects from scratch.
+struct WorkerConn {
+    addr: SocketAddr,
+    stream: Mutex<Option<TcpStream>>,
+}
+
+impl WorkerConn {
+    fn rpc(
+        &self,
+        msg: &Msg,
+        deadline: Instant,
+        connect_timeout: Duration,
+        max_frame: u32,
+    ) -> Result<Msg, DistError> {
+        let mut guard = self.stream.lock().unwrap_or_else(|p| p.into_inner());
+        let result = (|| {
+            let remaining =
+                deadline.checked_duration_since(Instant::now()).ok_or(DistError::Timeout)?;
+            if guard.is_none() {
+                *guard =
+                    Some(TcpStream::connect_timeout(&self.addr, connect_timeout.min(remaining))?);
+            }
+            let stream = guard.as_mut().expect("connected above");
+            let remaining =
+                deadline.checked_duration_since(Instant::now()).ok_or(DistError::Timeout)?;
+            stream.set_write_timeout(Some(remaining))?;
+            stream.set_read_timeout(Some(remaining))?;
+            write_msg(stream, msg)?;
+            read_msg(stream, max_frame)?
+                .ok_or_else(|| DistError::Protocol("worker closed mid-rpc".into()))
+        })();
+        if result.is_err() {
+            // never reuse a stream after a failure: a timed-out reply could
+            // arrive later and desynchronise the next RPC's framing
+            *guard = None;
+        }
+        result
+    }
+}
+
+/// One query addressed to a table in the cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterQuery {
+    /// Target table (must be in the placement map).
+    pub table: String,
+    /// The predicate.
+    pub query: RangeQuery,
+}
+
+/// One table group's scatter result: the original batch positions and the
+/// per-query outcomes.
+type GroupResult = (Vec<usize>, Vec<Result<f64, DistError>>);
+
+/// One replica's answer to a version probe.
+pub type VersionReport = (WorkerId, Result<(u64, String), DistError>);
+
+/// Outcome of shipping one snapshot to one replica.
+#[derive(Debug)]
+pub struct ShipOutcome {
+    /// The replica.
+    pub worker: WorkerId,
+    /// Registry version now serving on success, or the failure.
+    pub result: Result<u64, DistError>,
+}
+
+/// The cluster coordinator. All methods take `&self`; clone-free sharing
+/// via `Arc<Coordinator>` is the intended multi-client shape.
+pub struct Coordinator {
+    workers: Vec<WorkerConn>,
+    placement: PlacementMap,
+    cfg: DistConfig,
+    batches: Arc<iam_obs::Counter>,
+    queries: Arc<iam_obs::Counter>,
+    rpcs: Vec<Arc<iam_obs::Counter>>,
+    rpc_failures: Vec<Arc<iam_obs::Counter>>,
+    failovers: Arc<iam_obs::Counter>,
+    skipped: Arc<iam_obs::Counter>,
+    ships: Arc<iam_obs::Counter>,
+}
+
+impl Coordinator {
+    /// Build a coordinator over `workers`, placing `tables` with
+    /// [`DistConfig::replicas`]-way replication. Connections are lazy —
+    /// construction never blocks on the network.
+    pub fn new<S: AsRef<str>>(
+        workers: Vec<SocketAddr>,
+        tables: &[S],
+        cfg: DistConfig,
+    ) -> Coordinator {
+        assert!(!workers.is_empty(), "a cluster needs at least one worker");
+        let placement = PlacementMap::new(tables, workers.len(), cfg.replicas);
+        let reg = Registry::global();
+        let per_worker = |name: &str| -> Vec<Arc<iam_obs::Counter>> {
+            (0..workers.len()).map(|i| reg.counter(name, &[("worker", &i.to_string())])).collect()
+        };
+        reg.gauge("iam_dist_workers", &[]).set(workers.len() as i64);
+        Coordinator {
+            rpcs: per_worker("iam_dist_rpc_total"),
+            rpc_failures: per_worker("iam_dist_rpc_failures_total"),
+            batches: reg.counter("iam_dist_batches_total", &[]),
+            queries: reg.counter("iam_dist_queries_total", &[]),
+            failovers: reg.counter("iam_dist_failover_total", &[]),
+            skipped: reg.counter("iam_dist_skipped_queries_total", &[]),
+            ships: reg.counter("iam_dist_snapshots_shipped_total", &[]),
+            workers: workers
+                .into_iter()
+                .map(|addr| WorkerConn { addr, stream: Mutex::new(None) })
+                .collect(),
+            placement,
+            cfg,
+        }
+    }
+
+    /// The placement map (which replicas serve which table).
+    pub fn placement(&self) -> &PlacementMap {
+        &self.placement
+    }
+
+    /// Worker addresses, in membership order.
+    pub fn worker_addrs(&self) -> Vec<SocketAddr> {
+        self.workers.iter().map(|w| w.addr).collect()
+    }
+
+    /// Answer a client batch by scatter/gather; one result per query, in
+    /// input order. Failed tables are skipped with per-query errors —
+    /// a dead worker never takes the whole batch down with it.
+    pub fn estimate_batch(&self, batch: &[ClusterQuery]) -> Vec<Result<f64, DistError>> {
+        let _whole = iam_obs::span!("dist.scatter_gather");
+        self.batches.inc();
+        self.queries.add(batch.len() as u64);
+
+        // partition: group query indices by table
+        let groups: Vec<(&str, Vec<usize>)> = {
+            let _s = iam_obs::span!("dist.partition");
+            let mut by_table: HashMap<&str, Vec<usize>> = HashMap::new();
+            for (i, q) in batch.iter().enumerate() {
+                by_table.entry(q.table.as_str()).or_default().push(i);
+            }
+            let mut groups: Vec<_> = by_table.into_iter().collect();
+            groups.sort_unstable_by_key(|(t, _)| *t);
+            groups
+        };
+
+        // scatter: one thread per table group, replica failover inside
+        let gathered: Vec<GroupResult> = std::thread::scope(|s| {
+            let handles: Vec<_> = groups
+                .into_iter()
+                .map(|(table, idxs)| {
+                    s.spawn(move || {
+                        let queries: Vec<RangeQuery> =
+                            idxs.iter().map(|&i| batch[i].query.clone()).collect();
+                        let results = self.estimate_group(table, queries);
+                        (idxs, results)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("scatter thread")).collect()
+        });
+
+        // merge: back into input order
+        let _s = iam_obs::span!("dist.merge");
+        let mut out: Vec<Option<Result<f64, DistError>>> = (0..batch.len()).map(|_| None).collect();
+        for (idxs, results) in gathered {
+            for (i, r) in idxs.into_iter().zip(results) {
+                if r.is_err() {
+                    self.skipped.inc();
+                }
+                out[i] = Some(r);
+            }
+        }
+        out.into_iter().map(|r| r.expect("every query answered or skipped")).collect()
+    }
+
+    /// Answer one table group with replica failover under a shared
+    /// deadline.
+    fn estimate_group(&self, table: &str, queries: Vec<RangeQuery>) -> Vec<Result<f64, DistError>> {
+        let rotation = self.placement.rotation(table);
+        if rotation.is_empty() {
+            return queries
+                .iter()
+                .map(|_| Err(DistError::UnknownTable(table.to_string())))
+                .collect();
+        }
+        let deadline = Instant::now() + self.cfg.rpc_timeout;
+        let msg = Msg::EstimateBatch { table: table.to_string(), queries: queries.clone() };
+        for (attempt, &wid) in rotation.iter().enumerate() {
+            if attempt > 0 {
+                self.failovers.inc();
+            }
+            self.rpcs[wid].inc();
+            let _s = iam_obs::span!("dist.rpc");
+            match self.workers[wid].rpc(
+                &msg,
+                deadline,
+                self.cfg.connect_timeout,
+                self.cfg.max_frame,
+            ) {
+                Ok(Msg::EstimateReply { results }) if results.len() == queries.len() => {
+                    return results.into_iter().map(|r| r.map_err(DistError::Remote)).collect();
+                }
+                _ => {
+                    // wrong-arity replies and unexpected message kinds are
+                    // protocol violations; application Errors (e.g. a
+                    // replica that missed its snapshot) and transport
+                    // failures are equally retryable on the next replica
+                    self.rpc_failures[wid].inc();
+                }
+            }
+        }
+        let tried = rotation.len();
+        queries
+            .iter()
+            .map(|_| Err(DistError::NoReplica { table: table.to_string(), tried }))
+            .collect()
+    }
+
+    /// Ship pre-framed snapshot bytes to every replica of `table`,
+    /// returning one outcome per replica. Replicas are shipped
+    /// sequentially so at most one replica is mid-install at a time (the
+    /// rest keep serving the old or already-flipped version).
+    pub fn ship_snapshot(&self, table: &str, bytes: &[u8], label: &str) -> Vec<ShipOutcome> {
+        let _s = iam_obs::span!("dist.ship_snapshot");
+        let msg = Msg::LoadSnapshot {
+            table: table.to_string(),
+            label: label.to_string(),
+            bytes: bytes.to_vec(),
+        };
+        self.placement
+            .replicas(table)
+            .iter()
+            .map(|&wid| {
+                let deadline = Instant::now() + self.cfg.ship_timeout;
+                self.rpcs[wid].inc();
+                let result = match self.workers[wid].rpc(
+                    &msg,
+                    deadline,
+                    self.cfg.connect_timeout,
+                    self.cfg.max_frame,
+                ) {
+                    Ok(Msg::LoadAck { version, .. }) => {
+                        self.ships.inc();
+                        Ok(version)
+                    }
+                    Ok(Msg::Error { message }) => Err(DistError::Remote(message)),
+                    Ok(other) => {
+                        Err(DistError::Protocol(format!("unexpected ship reply {other:?}")))
+                    }
+                    Err(e) => Err(e),
+                };
+                if result.is_err() {
+                    self.rpc_failures[wid].inc();
+                }
+                ShipOutcome { worker: wid, result }
+            })
+            .collect()
+    }
+
+    /// Serialise `model` into a framed snapshot and ship it to every
+    /// replica of `table` — the `refresh_model` path: workers flip via the
+    /// registry's atomic hot-swap, so requests in flight during the ship
+    /// are answered wholly by the old or wholly by the new version.
+    pub fn deploy_model(
+        &self,
+        table: &str,
+        model: &mut IamEstimator,
+        label: &str,
+    ) -> Result<Vec<ShipOutcome>, DistError> {
+        let mut bytes = Vec::new();
+        model
+            .save_framed(&mut bytes)
+            .map_err(|e| DistError::Protocol(format!("snapshot serialisation failed: {e}")))?;
+        Ok(self.ship_snapshot(table, &bytes, label))
+    }
+
+    /// Ask every replica of `table` which model version it serves.
+    pub fn versions(&self, table: &str) -> Vec<VersionReport> {
+        let msg = Msg::Version { table: table.to_string() };
+        self.placement
+            .replicas(table)
+            .iter()
+            .map(|&wid| {
+                let deadline = Instant::now() + self.cfg.rpc_timeout;
+                let r = match self.workers[wid].rpc(
+                    &msg,
+                    deadline,
+                    self.cfg.connect_timeout,
+                    self.cfg.max_frame,
+                ) {
+                    Ok(Msg::VersionReply { version, label }) => Ok((version, label)),
+                    Ok(Msg::Error { message }) => Err(DistError::Remote(message)),
+                    Ok(other) => {
+                        Err(DistError::Protocol(format!("unexpected version reply {other:?}")))
+                    }
+                    Err(e) => Err(e),
+                };
+                (wid, r)
+            })
+            .collect()
+    }
+
+    /// Ping one worker.
+    pub fn ping(&self, worker: WorkerId) -> Result<(), DistError> {
+        let deadline = Instant::now() + self.cfg.rpc_timeout;
+        match self.workers[worker].rpc(
+            &Msg::Ping,
+            deadline,
+            self.cfg.connect_timeout,
+            self.cfg.max_frame,
+        )? {
+            Msg::Pong => Ok(()),
+            other => Err(DistError::Protocol(format!("unexpected ping reply {other:?}"))),
+        }
+    }
+
+    /// Ask every worker to drain and exit; best effort (already-dead
+    /// workers are ignored).
+    pub fn shutdown_cluster(&self) {
+        for w in 0..self.workers.len() {
+            let deadline = Instant::now() + self.cfg.rpc_timeout;
+            let _ = self.workers[w].rpc(
+                &Msg::Shutdown,
+                deadline,
+                self.cfg.connect_timeout,
+                self.cfg.max_frame,
+            );
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Error type for the distributed layer.
+
+use std::fmt;
+
+/// Everything that can go wrong between a coordinator call and its reply.
+#[derive(Debug)]
+pub enum DistError {
+    /// A socket operation failed (connect, read, write). The connection is
+    /// torn down; the coordinator treats the worker as failed for this
+    /// attempt and moves to the next replica.
+    Io(std::io::Error),
+    /// The peer sent bytes that do not decode as a protocol frame or
+    /// message (bad magic, unknown tag, truncated body, non-UTF-8 string).
+    Protocol(String),
+    /// A length prefix exceeded the negotiated frame bound; the frame was
+    /// rejected *before* any allocation.
+    FrameTooLarge {
+        /// Length the prefix claimed.
+        len: u64,
+        /// The enforced bound.
+        max: u64,
+    },
+    /// The RPC did not complete within the per-request deadline.
+    Timeout,
+    /// The remote worker reported an application-level error (bad query,
+    /// unknown table, failed snapshot install, …).
+    Remote(String),
+    /// Every replica of the query's table failed; the query is skipped
+    /// with this error rather than blocking the rest of the batch.
+    NoReplica {
+        /// The table whose replicas were exhausted.
+        table: String,
+        /// How many replicas were tried.
+        tried: usize,
+    },
+    /// The request referenced a table absent from the placement map.
+    UnknownTable(String),
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::Io(e) => write!(f, "i/o error: {e}"),
+            DistError::Protocol(m) => write!(f, "protocol error: {m}"),
+            DistError::FrameTooLarge { len, max } => {
+                write!(f, "frame length {len} exceeds bound {max}")
+            }
+            DistError::Timeout => write!(f, "rpc deadline exceeded"),
+            DistError::Remote(m) => write!(f, "remote error: {m}"),
+            DistError::NoReplica { table, tried } => {
+                write!(f, "all {tried} replicas of table {table:?} failed")
+            }
+            DistError::UnknownTable(t) => write!(f, "table {t:?} is not placed on any worker"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+impl From<std::io::Error> for DistError {
+    fn from(e: std::io::Error) -> Self {
+        if matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut) {
+            DistError::Timeout
+        } else {
+            DistError::Io(e)
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Table→worker placement with R-way replication and round-robin replica
+//! selection.
+//!
+//! Placement is deterministic: replica `i` of a table lands on worker
+//! `(fnv(table) + i) mod N`, so the same cluster shape always produces the
+//! same map (debuggable, and stable across coordinator restarts). The
+//! per-table round-robin cursor spreads read load across a table's
+//! replicas; on failure the coordinator simply continues the rotation, so
+//! "retry on the alternate replica" and "balance across replicas" are the
+//! same mechanism.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+
+/// Index of a worker in the coordinator's membership list.
+pub type WorkerId = usize;
+
+/// One table's replica set plus its load-balancing cursor.
+struct TablePlacement {
+    replicas: Vec<WorkerId>,
+    cursor: AtomicUsize,
+}
+
+/// The cluster's table→worker map. All methods take `&self`; the map is
+/// immutable after construction (membership changes rebuild it), only the
+/// round-robin cursors mutate.
+pub struct PlacementMap {
+    tables: BTreeMap<String, TablePlacement>,
+    nworkers: usize,
+}
+
+impl PlacementMap {
+    /// Place `tables` across `nworkers` workers with `replicas`-way
+    /// replication (clamped to the worker count — a 2-worker cluster
+    /// cannot hold 3 distinct replicas).
+    pub fn new<S: AsRef<str>>(tables: &[S], nworkers: usize, replicas: usize) -> PlacementMap {
+        assert!(nworkers > 0, "placement needs at least one worker");
+        let r = replicas.clamp(1, nworkers);
+        let tables = tables
+            .iter()
+            .map(|t| {
+                let t = t.as_ref();
+                let base = iam_core::persist::fnv1a(t.as_bytes()) as usize;
+                let replicas: Vec<WorkerId> = (0..r).map(|i| (base + i) % nworkers).collect();
+                (t.to_string(), TablePlacement { replicas, cursor: AtomicUsize::new(0) })
+            })
+            .collect();
+        PlacementMap { tables, nworkers }
+    }
+
+    /// Number of workers the map was built over.
+    pub fn nworkers(&self) -> usize {
+        self.nworkers
+    }
+
+    /// The table names in the map, sorted.
+    pub fn tables(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+
+    /// The replica set of `table` (empty slice when unknown).
+    pub fn replicas(&self, table: &str) -> &[WorkerId] {
+        self.tables.get(table).map(|p| p.replicas.as_slice()).unwrap_or(&[])
+    }
+
+    /// The full replica rotation for one request: every replica of
+    /// `table`, starting at the round-robin cursor. The first entry is the
+    /// preferred replica; the rest are the failover order.
+    pub fn rotation(&self, table: &str) -> Vec<WorkerId> {
+        let Some(p) = self.tables.get(table) else { return Vec::new() };
+        let n = p.replicas.len();
+        let start = p.cursor.fetch_add(1, Relaxed) % n;
+        (0..n).map(|i| p.replicas[(start + i) % n]).collect()
+    }
+
+    /// Every table placed on `worker`.
+    pub fn tables_on(&self, worker: WorkerId) -> Vec<&str> {
+        self.tables
+            .iter()
+            .filter(|(_, p)| p.replicas.contains(&worker))
+            .map(|(t, _)| t.as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replicas_are_distinct_and_bounded() {
+        let pm = PlacementMap::new(&["a", "b", "c", "d"], 3, 2);
+        for t in ["a", "b", "c", "d"] {
+            let r = pm.replicas(t);
+            assert_eq!(r.len(), 2);
+            assert_ne!(r[0], r[1], "replicas of {t} must be distinct workers");
+            assert!(r.iter().all(|&w| w < 3));
+        }
+        // replication factor clamps to the worker count
+        let pm = PlacementMap::new(&["a"], 2, 5);
+        assert_eq!(pm.replicas("a").len(), 2);
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let a = PlacementMap::new(&["x", "y"], 4, 2);
+        let b = PlacementMap::new(&["x", "y"], 4, 2);
+        assert_eq!(a.replicas("x"), b.replicas("x"));
+        assert_eq!(a.replicas("y"), b.replicas("y"));
+    }
+
+    #[test]
+    fn rotation_round_robins_and_covers_all_replicas() {
+        let pm = PlacementMap::new(&["t"], 3, 3);
+        let first = pm.rotation("t");
+        let second = pm.rotation("t");
+        assert_ne!(first[0], second[0], "consecutive requests start on different replicas");
+        let mut sorted = first.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3, "rotation visits every replica exactly once");
+    }
+
+    #[test]
+    fn unknown_table_is_empty() {
+        let pm = PlacementMap::new(&["t"], 2, 1);
+        assert!(pm.replicas("nope").is_empty());
+        assert!(pm.rotation("nope").is_empty());
+    }
+}

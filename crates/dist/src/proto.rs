@@ -1,0 +1,513 @@
+//! Length-prefixed binary wire protocol between coordinator and workers.
+//!
+//! Framing: every message travels as `[u32 LE length][payload]`, where
+//! `length` counts payload bytes only. A reader enforces a hard bound on
+//! the length prefix *before* allocating ([`MAX_FRAME`] by default,
+//! [`MAX_SNAPSHOT_FRAME`] on channels that carry model snapshots), so a
+//! corrupt or hostile peer cannot force a huge allocation. A truncated
+//! frame surfaces as [`DistError::Io`]; an oversized prefix as
+//! [`DistError::FrameTooLarge`]; neither ever panics.
+//!
+//! Payload: one byte of message tag, then a tag-specific body using the
+//! same little-endian primitives as `iam_core::persist` (u32/u64/f64 bit
+//! patterns, u64-length-prefixed strings and sequences). Floats are
+//! shipped as raw IEEE-754 bits, so an estimate crosses the wire
+//! **bit-exactly** — the cluster's answers can be compared to
+//! single-process inference with `to_bits` equality.
+//!
+//! Every request tag has exactly one success reply tag; workers answer
+//! anything unintelligible with [`Msg::Error`] and keep the connection
+//! open (malformed *framing* closes it, since resynchronisation inside a
+//! byte stream is impossible).
+
+use crate::error::DistError;
+use iam_data::{Interval, RangeQuery};
+use std::io::{Read, Write};
+
+/// Hard bound on ordinary (query/control) frame payloads: 16 MiB.
+pub const MAX_FRAME: u32 = 16 << 20;
+/// Hard bound on snapshot-bearing frame payloads: 1 GiB.
+pub const MAX_SNAPSHOT_FRAME: u32 = 1 << 30;
+
+/// One protocol message (either direction).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    /// Liveness probe.
+    Ping,
+    /// Reply to [`Msg::Ping`].
+    Pong,
+    /// Ship a framed model snapshot (an `IAMF` envelope, see
+    /// `IamEstimator::save_framed`) for `table`; the worker verifies the
+    /// envelope checksum, parses the payload, and only then hot-swaps —
+    /// a torn ship can never become the serving model.
+    LoadSnapshot {
+        /// Logical table the model answers queries for.
+        table: String,
+        /// Operator label recorded in the worker's model registry.
+        label: String,
+        /// The framed snapshot bytes.
+        bytes: Vec<u8>,
+    },
+    /// Reply to [`Msg::LoadSnapshot`]: the registry version now serving.
+    LoadAck {
+        /// Echoed table name.
+        table: String,
+        /// Version id assigned by the worker's registry.
+        version: u64,
+    },
+    /// Estimate a batch of queries against `table`'s model.
+    EstimateBatch {
+        /// Target table.
+        table: String,
+        /// The queries, answered in order.
+        queries: Vec<RangeQuery>,
+    },
+    /// Reply to [`Msg::EstimateBatch`]: one result per query, in order.
+    EstimateReply {
+        /// Per-query selectivity (bit-exact f64) or error text.
+        results: Vec<Result<f64, String>>,
+    },
+    /// Ask which model version serves `table`.
+    Version {
+        /// Target table.
+        table: String,
+    },
+    /// Reply to [`Msg::Version`].
+    VersionReply {
+        /// Active registry version id.
+        version: u64,
+        /// Its operator label.
+        label: String,
+    },
+    /// Ask the worker to drain and exit its process/listener.
+    Shutdown,
+    /// Reply to [`Msg::Shutdown`], sent just before the worker stops.
+    ShutdownAck,
+    /// Application-level failure (unknown table, bad batch, failed
+    /// snapshot install). The connection stays usable.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+// --- primitives ----------------------------------------------------------
+
+fn w_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn w_str(out: &mut Vec<u8>, s: &str) {
+    w_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn w_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    w_u64(out, b.len() as u64);
+    out.extend_from_slice(b);
+}
+
+/// Cursor over a received payload; all reads are bounds-checked.
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DistError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| DistError::Protocol("truncated message body".into()))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DistError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64, DistError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, DistError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A u64 length that must still fit in the remaining payload (each
+    /// element needs ≥ 1 byte), so hostile lengths cannot drive a huge
+    /// `Vec::with_capacity`.
+    fn len(&mut self) -> Result<usize, DistError> {
+        let n = self.u64()?;
+        if n as usize > self.buf.len() - self.pos {
+            return Err(DistError::Protocol("length prefix exceeds message body".into()));
+        }
+        Ok(n as usize)
+    }
+
+    fn str(&mut self) -> Result<String, DistError> {
+        let n = self.len()?;
+        std::str::from_utf8(self.take(n)?)
+            .map(str::to_string)
+            .map_err(|_| DistError::Protocol("non-utf8 string".into()))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, DistError> {
+        let n = self.len()?;
+        Ok(self.take(n)?.to_vec())
+    }
+}
+
+// --- query codec ----------------------------------------------------------
+
+fn encode_query(out: &mut Vec<u8>, q: &RangeQuery) {
+    w_u64(out, q.cols.len() as u64);
+    for c in &q.cols {
+        match c {
+            None => out.push(0),
+            Some(iv) => {
+                out.push(1);
+                w_u64(out, iv.lo.to_bits());
+                w_u64(out, iv.hi.to_bits());
+                out.push((iv.lo_strict as u8) | (iv.hi_strict as u8) << 1);
+            }
+        }
+    }
+}
+
+fn decode_query(cur: &mut Cur) -> Result<RangeQuery, DistError> {
+    let ncols = cur.len()?;
+    let mut cols = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        cols.push(match cur.u8()? {
+            0 => None,
+            1 => {
+                let lo = cur.f64()?;
+                let hi = cur.f64()?;
+                let s = cur.u8()?;
+                if s > 3 {
+                    return Err(DistError::Protocol("bad interval strictness bits".into()));
+                }
+                Some(Interval { lo, hi, lo_strict: s & 1 != 0, hi_strict: s & 2 != 0 })
+            }
+            t => return Err(DistError::Protocol(format!("bad interval tag {t}"))),
+        });
+    }
+    Ok(RangeQuery { cols })
+}
+
+// --- message codec ---------------------------------------------------------
+
+impl Msg {
+    /// Encode into a payload (no frame header).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Msg::Ping => out.push(1),
+            Msg::Pong => out.push(2),
+            Msg::LoadSnapshot { table, label, bytes } => {
+                out.push(3);
+                w_str(&mut out, table);
+                w_str(&mut out, label);
+                w_bytes(&mut out, bytes);
+            }
+            Msg::LoadAck { table, version } => {
+                out.push(4);
+                w_str(&mut out, table);
+                w_u64(&mut out, *version);
+            }
+            Msg::EstimateBatch { table, queries } => {
+                out.push(5);
+                w_str(&mut out, table);
+                w_u64(&mut out, queries.len() as u64);
+                for q in queries {
+                    encode_query(&mut out, q);
+                }
+            }
+            Msg::EstimateReply { results } => {
+                out.push(6);
+                w_u64(&mut out, results.len() as u64);
+                for r in results {
+                    match r {
+                        Ok(v) => {
+                            out.push(0);
+                            w_u64(&mut out, v.to_bits());
+                        }
+                        Err(e) => {
+                            out.push(1);
+                            w_str(&mut out, e);
+                        }
+                    }
+                }
+            }
+            Msg::Version { table } => {
+                out.push(7);
+                w_str(&mut out, table);
+            }
+            Msg::VersionReply { version, label } => {
+                out.push(8);
+                w_u64(&mut out, *version);
+                w_str(&mut out, label);
+            }
+            Msg::Shutdown => out.push(9),
+            Msg::ShutdownAck => out.push(10),
+            Msg::Error { message } => {
+                out.push(11);
+                w_str(&mut out, message);
+            }
+        }
+        out
+    }
+
+    /// Decode a payload. The whole slice must be consumed — trailing bytes
+    /// are a protocol error, never silently ignored.
+    pub fn decode(buf: &[u8]) -> Result<Msg, DistError> {
+        let mut cur = Cur { buf, pos: 0 };
+        let msg = match cur.u8()? {
+            1 => Msg::Ping,
+            2 => Msg::Pong,
+            3 => Msg::LoadSnapshot { table: cur.str()?, label: cur.str()?, bytes: cur.bytes()? },
+            4 => Msg::LoadAck { table: cur.str()?, version: cur.u64()? },
+            5 => {
+                let table = cur.str()?;
+                let n = cur.len()?;
+                let mut queries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    queries.push(decode_query(&mut cur)?);
+                }
+                Msg::EstimateBatch { table, queries }
+            }
+            6 => {
+                let n = cur.len()?;
+                let mut results = Vec::with_capacity(n);
+                for _ in 0..n {
+                    results.push(match cur.u8()? {
+                        0 => Ok(f64::from_bits(cur.u64()?)),
+                        1 => Err(cur.str()?),
+                        t => {
+                            return Err(DistError::Protocol(format!("bad result tag {t}")));
+                        }
+                    });
+                }
+                Msg::EstimateReply { results }
+            }
+            7 => Msg::Version { table: cur.str()? },
+            8 => Msg::VersionReply { version: cur.u64()?, label: cur.str()? },
+            9 => Msg::Shutdown,
+            10 => Msg::ShutdownAck,
+            11 => Msg::Error { message: cur.str()? },
+            t => return Err(DistError::Protocol(format!("unknown message tag {t}"))),
+        };
+        if cur.pos != buf.len() {
+            return Err(DistError::Protocol(format!(
+                "{} trailing bytes after message",
+                buf.len() - cur.pos
+            )));
+        }
+        Ok(msg)
+    }
+}
+
+/// Write one framed message.
+pub fn write_msg<W: Write>(w: &mut W, msg: &Msg) -> Result<(), DistError> {
+    let payload = msg.encode();
+    let len = u32::try_from(payload.len()).map_err(|_| DistError::FrameTooLarge {
+        len: payload.len() as u64,
+        max: u32::MAX as u64,
+    })?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one framed message, rejecting length prefixes above `max_frame`
+/// before any allocation. `Ok(None)` means the peer closed the stream
+/// cleanly at a frame boundary.
+pub fn read_msg<R: Read>(r: &mut R, max_frame: u32) -> Result<Option<Msg>, DistError> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > max_frame {
+        return Err(DistError::FrameTooLarge { len: len as u64, max: max_frame as u64 });
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Msg::decode(&payload).map(Some)
+}
+
+/// [`read_msg`] for readers with a read timeout installed (worker
+/// connection handlers): a `WouldBlock`/`TimedOut` poll is retried, and
+/// `cancelled()` is consulted on each retry so a handler can notice
+/// shutdown between (or during) frames without ever tearing a frame in
+/// half — partial header/payload bytes stay accumulated across retries.
+/// Returns `Ok(None)` on clean peer close or cancellation.
+pub fn read_msg_cancellable<R: Read>(
+    r: &mut R,
+    max_frame: u32,
+    cancelled: &dyn Fn() -> bool,
+) -> Result<Option<Msg>, DistError> {
+    fn fill<R: Read>(
+        r: &mut R,
+        buf: &mut [u8],
+        cancelled: &dyn Fn() -> bool,
+        header: bool,
+    ) -> Result<bool, DistError> {
+        let mut got = 0usize;
+        while got < buf.len() {
+            match r.read(&mut buf[got..]) {
+                Ok(0) => {
+                    if header && got == 0 {
+                        return Ok(false); // clean close at a frame boundary
+                    }
+                    return Err(DistError::Protocol("eof inside frame".into()));
+                }
+                Ok(n) => got += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if cancelled() {
+                        return Ok(false);
+                    }
+                }
+                Err(e) => return Err(DistError::Io(e)),
+            }
+        }
+        Ok(true)
+    }
+
+    let mut len_buf = [0u8; 4];
+    if !fill(r, &mut len_buf, cancelled, true)? {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > max_frame {
+        return Err(DistError::FrameTooLarge { len: len as u64, max: max_frame as u64 });
+    }
+    let mut payload = vec![0u8; len as usize];
+    if !fill(r, &mut payload, cancelled, false)? {
+        return Ok(None);
+    }
+    Msg::decode(&payload).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(m: Msg) {
+        let mut wire = Vec::new();
+        write_msg(&mut wire, &m).unwrap();
+        let got = read_msg(&mut wire.as_slice(), MAX_SNAPSHOT_FRAME).unwrap().unwrap();
+        assert_eq!(got, m);
+    }
+
+    #[test]
+    fn all_messages_round_trip() {
+        let mut q = RangeQuery::unconstrained(3);
+        q.cols[0] = Some(Interval::point(3.0));
+        q.cols[2] = Some(Interval { lo: -1.5, hi: 2.5, lo_strict: true, hi_strict: false });
+        roundtrip(Msg::Ping);
+        roundtrip(Msg::Pong);
+        roundtrip(Msg::LoadSnapshot {
+            table: "wisdm".into(),
+            label: "v2".into(),
+            bytes: vec![1, 2, 3, 255],
+        });
+        roundtrip(Msg::LoadAck { table: "wisdm".into(), version: 7 });
+        roundtrip(Msg::EstimateBatch {
+            table: "twi".into(),
+            queries: vec![q, RangeQuery::unconstrained(2)],
+        });
+        roundtrip(Msg::EstimateReply {
+            results: vec![Ok(0.125), Err("bad query".into()), Ok(f64::MIN_POSITIVE)],
+        });
+        roundtrip(Msg::Version { table: "t".into() });
+        roundtrip(Msg::VersionReply { version: 3, label: "refresh".into() });
+        roundtrip(Msg::Shutdown);
+        roundtrip(Msg::ShutdownAck);
+        roundtrip(Msg::Error { message: "nope".into() });
+    }
+
+    #[test]
+    fn estimates_cross_the_wire_bit_exactly() {
+        // exercise bit patterns a text protocol would mangle
+        for v in [0.1 + 0.2, f64::MIN_POSITIVE, -0.0, 1e-300, 0.3_f64.next_down()] {
+            let m = Msg::EstimateReply { results: vec![Ok(v)] };
+            let mut wire = Vec::new();
+            write_msg(&mut wire, &m).unwrap();
+            match read_msg(&mut wire.as_slice(), MAX_FRAME).unwrap().unwrap() {
+                Msg::EstimateReply { results } => {
+                    assert_eq!(results[0].as_ref().unwrap().to_bits(), v.to_bits());
+                }
+                other => panic!("wrong reply {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_none_truncation_is_error() {
+        assert!(read_msg(&mut &[][..], MAX_FRAME).unwrap().is_none());
+        let mut wire = Vec::new();
+        write_msg(&mut wire, &Msg::Version { table: "abc".into() }).unwrap();
+        // a peer dying inside the 4-byte length prefix reads as disconnect;
+        // dying inside the payload is a hard truncation error
+        for cut in 1..4 {
+            assert!(matches!(read_msg(&mut &wire[..cut], MAX_FRAME), Ok(None)));
+        }
+        for cut in 4..wire.len() {
+            assert!(
+                read_msg(&mut &wire[..cut], MAX_FRAME).is_err(),
+                "truncation at {cut} must error"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_before_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        wire.extend_from_slice(&[0u8; 16]);
+        match read_msg(&mut wire.as_slice(), MAX_FRAME) {
+            Err(DistError::FrameTooLarge { len, max }) => {
+                assert_eq!(len, u32::MAX as u64);
+                assert_eq!(max, MAX_FRAME as u64);
+            }
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hostile_inner_lengths_and_garbage_never_panic() {
+        // element-count prefix far beyond the body
+        let mut payload = vec![5u8]; // EstimateBatch
+        payload.extend_from_slice(&1u64.to_le_bytes()); // table len 1
+        payload.push(b't');
+        payload.extend_from_slice(&u64::MAX.to_le_bytes()); // "queries"
+        assert!(Msg::decode(&payload).is_err());
+        // unknown tags, trailing junk, random bytes
+        assert!(Msg::decode(&[99]).is_err());
+        assert!(Msg::decode(&[1, 0]).is_err(), "trailing byte after Ping");
+        assert!(Msg::decode(&[]).is_err());
+        let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+        for _ in 0..2000 {
+            let mut junk = Vec::new();
+            for _ in 0..(x % 64) {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                junk.push((x >> 32) as u8);
+            }
+            let _ = Msg::decode(&junk); // must not panic
+        }
+    }
+}

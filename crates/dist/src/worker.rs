@@ -1,0 +1,288 @@
+//! A cluster worker: one process (or thread group) hosting an
+//! `iam-serve` [`Service`] — registry, cache, micro-batching workers — per
+//! placed table, answering protocol frames over TCP.
+//!
+//! Workers start **empty**: models arrive via [`Msg::LoadSnapshot`]
+//! (snapshot shipping). The worker verifies the framed envelope's checksum
+//! and fully parses the payload *before* touching the serving state, then
+//! installs it through the registry's atomic hot-swap — so a torn or
+//! corrupt ship can never become (or tear) the serving model, and
+//! estimates issued during a ship are answered entirely by the old or
+//! entirely by the new version.
+//!
+//! Connection handling mirrors `iam_serve::net`: an accept loop plus one
+//! thread per connection, all joined on [`WorkerHandle::stop`]. Malformed
+//! *messages* inside an intact frame get an [`Msg::Error`] reply and the
+//! connection survives; broken *framing* (oversized length prefix,
+//! truncated frame) closes the connection, because a byte stream cannot
+//! resynchronise mid-frame.
+
+use crate::error::DistError;
+use crate::proto::{read_msg_cancellable, write_msg, Msg, MAX_SNAPSHOT_FRAME};
+use iam_core::IamEstimator;
+use iam_obs::Registry;
+use iam_serve::{ServeConfig, Service};
+use std::collections::HashMap;
+use std::io::{self, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Tuning knobs for [`WorkerHandle::spawn`].
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Per-table serving configuration (queue, batcher, cache).
+    pub serve: ServeConfig,
+    /// Largest accepted frame payload; snapshot ships need room for model
+    /// bytes, so this defaults to [`MAX_SNAPSHOT_FRAME`].
+    pub max_frame: u32,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        WorkerConfig { serve: ServeConfig::default(), max_frame: MAX_SNAPSHOT_FRAME }
+    }
+}
+
+/// Shared worker state: the per-table services plus RPC counters.
+struct WorkerState {
+    cfg: WorkerConfig,
+    tables: Mutex<HashMap<String, Service>>,
+    /// Signalled when a peer sends [`Msg::Shutdown`].
+    shutdown_tx: SyncSender<()>,
+    frames: Arc<iam_obs::Counter>,
+    estimates: Arc<iam_obs::Counter>,
+    snapshots: Arc<iam_obs::Counter>,
+    proto_errors: Arc<iam_obs::Counter>,
+}
+
+impl WorkerState {
+    fn handle(&self, msg: Msg) -> Option<Msg> {
+        self.frames.inc();
+        match msg {
+            Msg::Ping => Some(Msg::Pong),
+            Msg::Shutdown => {
+                let _ = self.shutdown_tx.try_send(());
+                Some(Msg::ShutdownAck)
+            }
+            Msg::Version { table } => {
+                let tables = self.lock_tables();
+                Some(match tables.get(&table) {
+                    Some(svc) => {
+                        let (version, label) = svc.current_version();
+                        Msg::VersionReply { version, label }
+                    }
+                    None => Msg::Error { message: format!("unknown table {table:?}") },
+                })
+            }
+            Msg::LoadSnapshot { table, label, bytes } => {
+                // checksum + full parse happen here, before any serving
+                // state is touched — the active model survives a bad ship
+                let model = match IamEstimator::load_framed(&mut bytes.as_slice()) {
+                    Ok(m) => m,
+                    Err(e) => {
+                        return Some(Msg::Error {
+                            message: format!("snapshot rejected for {table:?}: {e}"),
+                        })
+                    }
+                };
+                self.snapshots.inc();
+                let mut tables = self.lock_tables();
+                let version = match tables.get(&table) {
+                    Some(svc) => svc.swap_model(model, &label),
+                    None => {
+                        let svc = Service::start(model, &label, self.cfg.serve.clone());
+                        let v = svc.current_version().0;
+                        tables.insert(table.clone(), svc);
+                        v
+                    }
+                };
+                Some(Msg::LoadAck { table, version })
+            }
+            Msg::EstimateBatch { table, queries } => {
+                let client = {
+                    let tables = self.lock_tables();
+                    match tables.get(&table) {
+                        Some(svc) => svc.client(),
+                        None => {
+                            return Some(Msg::Error { message: format!("unknown table {table:?}") })
+                        }
+                    }
+                };
+                self.estimates.add(queries.len() as u64);
+                let results = client
+                    .estimate_many(&queries)
+                    .into_iter()
+                    .map(|r| r.map_err(|e| e.to_string()))
+                    .collect();
+                Some(Msg::EstimateReply { results })
+            }
+            // reply-direction messages are meaningless as requests
+            Msg::Pong
+            | Msg::LoadAck { .. }
+            | Msg::EstimateReply { .. }
+            | Msg::VersionReply { .. }
+            | Msg::ShutdownAck
+            | Msg::Error { .. } => {
+                Some(Msg::Error { message: "unexpected reply-direction message".into() })
+            }
+        }
+    }
+
+    fn lock_tables(&self) -> std::sync::MutexGuard<'_, HashMap<String, Service>> {
+        // the guarded map only ever holds fully constructed services, so a
+        // panic mid-section leaves valid state — take and continue
+        self.tables.lock().unwrap_or_else(|p| {
+            self.tables.clear_poison();
+            p.into_inner()
+        })
+    }
+}
+
+/// A running worker. [`WorkerHandle::stop`] closes the listener, joins the
+/// connection handlers, and drains every per-table service.
+pub struct WorkerHandle {
+    /// The bound address (useful with port 0).
+    pub addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: std::thread::JoinHandle<()>,
+    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    state: Arc<WorkerState>,
+    shutdown_rx: Receiver<()>,
+}
+
+impl WorkerHandle {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and serve protocol frames.
+    pub fn spawn<A: ToSocketAddrs>(addr: A, cfg: WorkerConfig) -> io::Result<WorkerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let (shutdown_tx, shutdown_rx) = sync_channel(1);
+        let reg = Registry::global();
+        let state = Arc::new(WorkerState {
+            cfg,
+            tables: Mutex::new(HashMap::new()),
+            shutdown_tx,
+            frames: reg.counter("iam_dist_worker_frames_total", &[]),
+            estimates: reg.counter("iam_dist_worker_estimates_total", &[]),
+            snapshots: reg.counter("iam_dist_worker_snapshots_total", &[]),
+            proto_errors: reg.counter("iam_dist_worker_proto_errors_total", &[]),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns = Arc::new(Mutex::new(Vec::new()));
+        let accept_thread = {
+            let (state, stop, conns) = (Arc::clone(&state), Arc::clone(&stop), Arc::clone(&conns));
+            std::thread::Builder::new()
+                .name("iam-dist-accept".into())
+                .spawn(move || accept_loop(listener, &state, &stop, &conns))
+                .expect("spawn accept loop")
+        };
+        Ok(WorkerHandle { addr, stop, accept_thread, conns, state, shutdown_rx })
+    }
+
+    /// Block until a peer sends [`Msg::Shutdown`] (the worker binary's
+    /// main-thread parking spot).
+    pub fn wait_for_shutdown(&self) {
+        let _ = self.shutdown_rx.recv();
+    }
+
+    /// Like [`Self::wait_for_shutdown`] with a timeout; returns whether a
+    /// shutdown request arrived.
+    pub fn wait_for_shutdown_timeout(&self, d: Duration) -> bool {
+        self.shutdown_rx.recv_timeout(d).is_ok()
+    }
+
+    /// Tables currently hosting a model.
+    pub fn tables(&self) -> Vec<String> {
+        let mut t: Vec<String> = self.state.lock_tables().keys().cloned().collect();
+        t.sort();
+        t
+    }
+
+    /// Stop accepting, join every connection handler, and drain the
+    /// per-table services (graceful: queued estimates are answered).
+    pub fn stop(self) {
+        self.stop.store(true, Relaxed);
+        let _ = self.accept_thread.join();
+        let handles: Vec<_> = {
+            let mut conns = self.conns.lock().unwrap_or_else(|p| p.into_inner());
+            conns.drain(..).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        let tables = std::mem::take(&mut *self.state.lock_tables());
+        for (_, svc) in tables {
+            let _ = svc.shutdown();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    state: &Arc<WorkerState>,
+    stop: &Arc<AtomicBool>,
+    conns: &Mutex<Vec<std::thread::JoinHandle<()>>>,
+) {
+    while !stop.load(Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let state = Arc::clone(state);
+                let stop = Arc::clone(stop);
+                let handle = std::thread::Builder::new()
+                    .name("iam-dist-conn".into())
+                    .spawn(move || {
+                        let _ = handle_connection(stream, &state, &stop);
+                    })
+                    .expect("spawn connection handler");
+                conns.lock().unwrap_or_else(|p| p.into_inner()).push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    state: &WorkerState,
+    stop: &AtomicBool,
+) -> Result<(), DistError> {
+    // short read timeout so the handler re-checks `stop` between frames;
+    // read_msg_cancellable only treats a timeout as idle at a frame
+    // boundary, so slow mid-frame peers are never corrupted
+    stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+    let mut reader = stream.try_clone()?;
+    let mut out = BufWriter::new(stream);
+    loop {
+        let msg =
+            match read_msg_cancellable(&mut reader, state.cfg.max_frame, &|| stop.load(Relaxed)) {
+                Ok(Some(m)) => m,
+                Ok(None) => return Ok(()), // peer closed, or we are stopping
+                Err(e @ (DistError::FrameTooLarge { .. } | DistError::Io(_))) => {
+                    // framing is unrecoverable: report (best effort) and close
+                    state.proto_errors.inc();
+                    let _ = write_msg(&mut out, &Msg::Error { message: e.to_string() });
+                    return Err(e);
+                }
+                Err(e) => {
+                    // the frame boundary held; the *message* was garbage —
+                    // reply and keep serving this connection
+                    state.proto_errors.inc();
+                    write_msg(&mut out, &Msg::Error { message: e.to_string() })?;
+                    continue;
+                }
+            };
+        let stopping = matches!(msg, Msg::Shutdown);
+        if let Some(reply) = state.handle(msg) {
+            write_msg(&mut out, &reply)?;
+        }
+        if stopping {
+            return Ok(());
+        }
+    }
+}

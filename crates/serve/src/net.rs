@@ -32,8 +32,17 @@ use iam_data::{Interval, RangeQuery};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
+
+/// Longest accepted protocol line (bytes, newline included). Longer lines
+/// get an `ERR line too long` reply and the connection is closed — a
+/// stream that long is not a query, it is garbage or abuse, and draining
+/// it line-less could buffer unbounded input.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// How often a blocked connection read wakes up to re-check the stop flag.
+const CONN_POLL: Duration = Duration::from_millis(50);
 
 /// Parse one protocol line into a [`RangeQuery`] over `ncols` columns.
 pub fn parse_query(line: &str, ncols: usize) -> Result<RangeQuery, ServeError> {
@@ -79,14 +88,18 @@ pub fn parse_query(line: &str, ncols: usize) -> Result<RangeQuery, ServeError> {
     Ok(rq)
 }
 
-/// A running TCP front-end. [`TcpFrontend::stop`] ends the accept loop;
-/// already-open connections keep their handler threads until the peer
-/// disconnects (fine for tests and demos).
+/// A running TCP front-end. [`TcpFrontend::stop`] closes the listener
+/// **and drains the connection handlers**: every handler polls the stop
+/// flag between reads (via a socket read timeout), finishes the line it is
+/// on, and exits; `stop` joins them all, so tests never leak threads and
+/// rebinding the port cannot flake on address reuse (bind with port 0 in
+/// tests regardless).
 pub struct TcpFrontend {
     /// The bound address (useful with port 0).
     pub addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: std::thread::JoinHandle<()>,
+    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
 }
 
 impl TcpFrontend {
@@ -96,30 +109,50 @@ impl TcpFrontend {
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
-        let stop2 = Arc::clone(&stop);
-        let accept_thread = std::thread::Builder::new()
-            .name("iam-serve-accept".into())
-            .spawn(move || accept_loop(listener, client, &stop2))
-            .expect("spawn accept loop");
-        Ok(TcpFrontend { addr, stop, accept_thread })
+        let conns = Arc::new(Mutex::new(Vec::new()));
+        let accept_thread = {
+            let (stop, conns) = (Arc::clone(&stop), Arc::clone(&conns));
+            std::thread::Builder::new()
+                .name("iam-serve-accept".into())
+                .spawn(move || accept_loop(listener, client, &stop, &conns))
+                .expect("spawn accept loop")
+        };
+        Ok(TcpFrontend { addr, stop, accept_thread, conns })
     }
 
-    /// Stop accepting new connections and join the accept loop.
+    /// Close the listener, then join the accept loop and every connection
+    /// handler thread (each notices the stop flag within `CONN_POLL`).
     pub fn stop(self) {
         self.stop.store(true, Relaxed);
         let _ = self.accept_thread.join();
+        let handles: Vec<_> = {
+            let mut conns = self.conns.lock().unwrap_or_else(|p| p.into_inner());
+            conns.drain(..).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
     }
 }
 
-fn accept_loop(listener: TcpListener, client: Client, stop: &AtomicBool) {
+fn accept_loop(
+    listener: TcpListener,
+    client: Client,
+    stop: &Arc<AtomicBool>,
+    conns: &Mutex<Vec<std::thread::JoinHandle<()>>>,
+) {
     while !stop.load(Relaxed) {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let client = client.clone();
-                let _ =
+                let stop = Arc::clone(stop);
+                let handle =
                     std::thread::Builder::new().name("iam-serve-conn".into()).spawn(move || {
-                        let _ = handle_connection(stream, &client);
+                        let _ = handle_connection(stream, &client, &stop);
                     });
+                if let Ok(h) = handle {
+                    conns.lock().unwrap_or_else(|p| p.into_inner()).push(h);
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(10));
@@ -129,13 +162,46 @@ fn accept_loop(listener: TcpListener, client: Client, stop: &AtomicBool) {
     }
 }
 
-fn handle_connection(stream: TcpStream, client: &Client) -> io::Result<()> {
-    stream.set_nonblocking(false)?;
-    let reader = BufReader::new(stream.try_clone()?);
+/// Read one `\n`-terminated line into `line` (cleared first), tolerating
+/// read timeouts so the handler can notice `stop` while idle; partially
+/// read bytes accumulate across retries. Returns `Ok(false)` on clean
+/// close, stop, or an over-long line (after replying `ERR`).
+fn read_line_bounded(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut Vec<u8>,
+    out: &mut BufWriter<TcpStream>,
+    stop: &AtomicBool,
+) -> io::Result<bool> {
+    line.clear();
+    loop {
+        match reader.read_until(b'\n', line) {
+            Ok(0) => return Ok(false), // peer closed
+            Ok(_) if line.last() == Some(&b'\n') => return Ok(true),
+            Ok(_) => continue, // more to come (read_until hit buffer edge)
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                if stop.load(Relaxed) {
+                    return Ok(false);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+        if line.len() > MAX_LINE_BYTES {
+            out.write_all(b"ERR line too long\n")?;
+            out.flush()?;
+            return Ok(false);
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, client: &Client, stop: &AtomicBool) -> io::Result<()> {
+    stream.set_read_timeout(Some(CONN_POLL))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
     let mut out = BufWriter::new(stream);
-    for line in reader.lines() {
-        let line = line?;
-        let trimmed = line.trim();
+    let mut line = Vec::new();
+    while read_line_bounded(&mut reader, &mut line, &mut out, stop)? {
+        let trimmed = String::from_utf8_lossy(&line);
+        let trimmed = trimmed.trim();
         if trimmed.is_empty() {
             continue;
         }

@@ -251,51 +251,84 @@ impl Client {
 
     /// Estimate with an explicit per-request timeout.
     pub fn estimate_timeout(&self, q: &RangeQuery, timeout: Duration) -> Result<f64, ServeError> {
+        self.estimate_many_timeout(std::slice::from_ref(q), timeout)
+            .pop()
+            .expect("one result per query")
+    }
+
+    /// Estimate a whole slice of queries with the default timeout,
+    /// returning one result per query in input order.
+    pub fn estimate_many(&self, queries: &[RangeQuery]) -> Vec<Result<f64, ServeError>> {
+        self.estimate_many_timeout(queries, self.inner.cfg.request_timeout)
+    }
+
+    /// Estimate many queries under one deadline: every cache miss is
+    /// enqueued *before* the first reply is awaited, so the batch workers
+    /// see the whole set at once and can coalesce it into shared inference
+    /// calls — the submission path remote front-ends (`iam-dist` workers)
+    /// use for frame batches. Per-query failures (overload, timeout, bad
+    /// arity) are reported in place and never fail the rest of the batch.
+    pub fn estimate_many_timeout(
+        &self,
+        queries: &[RangeQuery],
+        timeout: Duration,
+    ) -> Vec<Result<f64, ServeError>> {
         let inner = &*self.inner;
-        inner.metrics.request();
-        if inner.shutdown.load(Relaxed) {
-            return Err(ServeError::ShuttingDown);
-        }
         let start = Instant::now();
-        let version = inner.registry.current();
-        let ncols = version.model.schema.handlers.len();
-        if q.cols.len() != ncols {
-            inner.metrics.bad_query();
-            return Err(ServeError::BadQuery(format!(
-                "query has {} columns, model has {ncols}",
-                q.cols.len()
-            )));
-        }
-        let key = q.canonical_key();
-        if let Some(v) = inner.cache.get(key, version.id) {
-            inner.metrics.latency(start.elapsed());
-            return Ok(v);
-        }
-        let (reply_tx, reply_rx) = sync_channel(1);
-        let req = Request {
-            query: q.clone(),
-            key,
-            enqueued: start,
-            deadline: start + timeout,
-            reply: reply_tx,
-        };
-        match inner.tx.try_send(req) {
-            Ok(()) => inner.metrics.enqueued(),
-            Err(TrySendError::Full(_)) => {
-                inner.metrics.overloaded();
-                return Err(ServeError::Overloaded);
+        let deadline = start + timeout;
+        let mut out: Vec<Option<Result<f64, ServeError>>> = vec![None; queries.len()];
+        let mut pending: Vec<(usize, Receiver<Result<f64, ServeError>>)> = Vec::new();
+        for (i, q) in queries.iter().enumerate() {
+            inner.metrics.request();
+            if inner.shutdown.load(Relaxed) {
+                out[i] = Some(Err(ServeError::ShuttingDown));
+                continue;
             }
-            Err(TrySendError::Disconnected(_)) => return Err(ServeError::ShuttingDown),
-        }
-        match reply_rx.recv_timeout(timeout) {
-            Ok(res) => res,
-            Err(_) => {
-                // the worker will find the deadline expired (or reply into
-                // a dropped channel); count the timeout here, once
-                inner.metrics.timeout();
-                Err(ServeError::Timeout)
+            let version = inner.registry.current();
+            let ncols = version.model.schema.handlers.len();
+            if q.cols.len() != ncols {
+                inner.metrics.bad_query();
+                out[i] = Some(Err(ServeError::BadQuery(format!(
+                    "query has {} columns, model has {ncols}",
+                    q.cols.len()
+                ))));
+                continue;
+            }
+            let key = q.canonical_key();
+            if let Some(v) = inner.cache.get(key, version.id) {
+                inner.metrics.latency(start.elapsed());
+                out[i] = Some(Ok(v));
+                continue;
+            }
+            let (reply_tx, reply_rx) = sync_channel(1);
+            let req = Request { query: q.clone(), key, enqueued: start, deadline, reply: reply_tx };
+            match inner.tx.try_send(req) {
+                Ok(()) => {
+                    inner.metrics.enqueued();
+                    pending.push((i, reply_rx));
+                }
+                Err(TrySendError::Full(_)) => {
+                    inner.metrics.overloaded();
+                    out[i] = Some(Err(ServeError::Overloaded));
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    out[i] = Some(Err(ServeError::ShuttingDown));
+                }
             }
         }
+        for (i, rx) in pending {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match rx.recv_timeout(remaining) {
+                Ok(res) => out[i] = Some(res),
+                Err(_) => {
+                    // the worker will find the deadline expired (or reply
+                    // into a dropped channel); count the timeout here, once
+                    inner.metrics.timeout();
+                    out[i] = Some(Err(ServeError::Timeout));
+                }
+            }
+        }
+        out.into_iter().map(|r| r.expect("every slot filled")).collect()
     }
 
     /// Column arity the active model expects.

@@ -5,8 +5,8 @@
 use iam_core::{IamConfig, IamEstimator};
 use iam_data::synth::Dataset;
 use iam_data::{RangeQuery, WorkloadConfig, WorkloadGenerator};
-use iam_serve::{parse_query, ServeConfig, ServeError, Service, TcpFrontend};
-use std::io::{BufRead, BufReader, Write};
+use iam_serve::{parse_query, ServeConfig, ServeError, Service, TcpFrontend, MAX_LINE_BYTES};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
@@ -217,6 +217,67 @@ fn refresh_model_is_train_thread_invariant() {
     svc_b.shutdown();
 }
 
+/// Estimates issued while `refresh_model` hot-swaps the registry are
+/// answered entirely by the old or entirely by the new version — every
+/// observed answer matches one of the two direct-inference bit patterns,
+/// and after the swap completes only new-version bits are served.
+#[test]
+fn hot_swap_under_concurrent_load_never_mixes_versions() {
+    use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+
+    let table = Dataset::Twi.generate(800, 15);
+    let old = tiny_model(15);
+    let mut new = old.clone();
+    new.train_epochs(&table, 2);
+    let queries = workload(15, 6);
+    let old_bits: Vec<u64> =
+        old.estimate_batch_shared(&queries, 1).iter().map(|v| v.to_bits()).collect();
+    let new_bits: Vec<u64> =
+        new.estimate_batch_shared(&queries, 1).iter().map(|v| v.to_bits()).collect();
+    assert_ne!(old_bits, new_bits, "refresh must actually change some answer");
+
+    // cache on: version-tagged entries must never leak across the swap
+    let service = Service::start(old, "v1", ServeConfig { workers: 2, ..ServeConfig::default() });
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let loaders: Vec<_> = (0..3)
+            .map(|t| {
+                let client = service.client();
+                let (stop, queries, old_bits, new_bits) = (&stop, &queries, &old_bits, &new_bits);
+                s.spawn(move || {
+                    let mut n = 0usize;
+                    while !stop.load(Relaxed) {
+                        let i = (n + t) % queries.len();
+                        let got = client.estimate(&queries[i]).expect("estimate failed").to_bits();
+                        assert!(
+                            got == old_bits[i] || got == new_bits[i],
+                            "query {i} answered bits {got:#x} matching neither version — \
+                             a mixed or torn model was served during the swap"
+                        );
+                        n += 1;
+                    }
+                    n
+                })
+            })
+            .collect();
+
+        // same retrain as `new` (same data, threads, epochs): the swapped-in
+        // model is bitwise the one whose answers we precomputed
+        let id = service.refresh_model(&table, 2, 1, "v2");
+        assert_eq!(id, 2);
+        stop.store(true, Relaxed);
+        let answered: usize = loaders.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(answered > 0, "load threads never ran during the swap");
+    });
+
+    // post-swap, only new-version answers remain (cache included)
+    let client = service.client();
+    for (i, q) in queries.iter().enumerate() {
+        assert_eq!(client.estimate(q).unwrap().to_bits(), new_bits[i], "query {i} post-swap");
+    }
+    service.shutdown();
+}
+
 /// A snapshot that fails to parse must leave the active version serving.
 #[test]
 fn failed_load_rolls_back_to_active_version() {
@@ -422,6 +483,130 @@ fn tcp_frontend_serves_line_protocol() {
     assert!(prom.iter().any(|l| l.starts_with("iam_serve_latency_us_bucket{le=\"+Inf\"}")));
 
     write("QUIT");
+    frontend.stop();
+    service.shutdown();
+}
+
+/// `TcpFrontend::stop` must end handler threads even while a connection is
+/// open and idle mid-session — no leaked threads, no hang — and the peer
+/// then observes a closed socket.
+#[test]
+fn tcp_frontend_stop_closes_idle_connections() {
+    let service = Service::start(tiny_model(12), "v1", ServeConfig::default());
+    let frontend = TcpFrontend::spawn(service.client(), "127.0.0.1:0").unwrap();
+
+    // open a connection, exchange one round-trip, then go idle (no QUIT)
+    let stream = TcpStream::connect(frontend.addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    {
+        let mut w = &stream;
+        writeln!(w, "VERSION").unwrap();
+    }
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "1 v1");
+
+    // stop() joins the accept loop AND the open handler; bound the wall
+    // time so a hang fails fast instead of wedging the test binary
+    let t0 = Instant::now();
+    frontend.stop();
+    assert!(t0.elapsed() < Duration::from_secs(2), "stop() must not wait on idle connections");
+
+    // the handler dropped its end: the client sees EOF (or a reset)
+    stream.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+    let mut buf = [0u8; 1];
+    match reader.read(&mut buf) {
+        Ok(0) | Err(_) => {}
+        Ok(n) => panic!("expected closed socket, read {n} bytes"),
+    }
+    service.shutdown();
+}
+
+/// A line longer than [`MAX_LINE_BYTES`] is answered with `ERR line too
+/// long` and the connection is closed — the server never buffers unbounded
+/// input and never panics.
+#[test]
+fn tcp_frontend_rejects_oversized_lines() {
+    let service = Service::start(tiny_model(13), "v1", ServeConfig::default());
+    let frontend = TcpFrontend::spawn(service.client(), "127.0.0.1:0").unwrap();
+
+    let stream = TcpStream::connect(frontend.addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    {
+        // a newline-less flood well past the bound
+        let chunk = vec![b'a'; MAX_LINE_BYTES + 1024];
+        let mut w = &stream;
+        w.write_all(&chunk).unwrap();
+        w.flush().unwrap();
+    }
+    let mut line = String::new();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "ERR line too long");
+    // connection is closed afterwards
+    line.clear();
+    assert_eq!(reader.read_line(&mut line).unwrap(), 0, "server must close after ERR");
+
+    // the front-end survives: a fresh connection still serves
+    let stream2 = TcpStream::connect(frontend.addr).unwrap();
+    let mut reader2 = BufReader::new(stream2.try_clone().unwrap());
+    {
+        let mut w = &stream2;
+        writeln!(w, "VERSION").unwrap();
+    }
+    let mut line2 = String::new();
+    reader2.read_line(&mut line2).unwrap();
+    assert_eq!(line2.trim_end(), "1 v1");
+
+    frontend.stop();
+    service.shutdown();
+}
+
+/// Garbage on the line protocol — including non-UTF-8 bytes — gets an
+/// `ERR` reply, the connection stays open, and valid queries still work
+/// afterwards. No input may panic the handler.
+#[test]
+fn tcp_frontend_survives_garbage_lines() {
+    let est = tiny_model(14);
+    let rq = parse_query("0=0.1..0.9", 2).unwrap();
+    let direct = est.estimate_batch_shared(std::slice::from_ref(&rq), 1)[0];
+    let service = Service::start(est, "v1", ServeConfig { workers: 1, ..Default::default() });
+    let frontend = TcpFrontend::spawn(service.client(), "127.0.0.1:0").unwrap();
+
+    let stream = TcpStream::connect(frontend.addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut read_line = || {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        line.trim_end().to_string()
+    };
+
+    let garbage: &[&[u8]] = &[
+        b"\xff\xfe\x00\x80 binary junk\n",
+        b"0=NaN..2\n",
+        b"0=1..2 9999999999999999999999=3\n",
+        b"=..=..=\n",
+        b"0=1e400..2\n", // overflows f64 parsing to inf — still a reply, not a panic
+    ];
+    for g in garbage {
+        let mut w = &stream;
+        w.write_all(g).unwrap();
+        w.flush().unwrap();
+        let reply = read_line();
+        assert!(
+            reply.starts_with("ERR ") || reply.parse::<f64>().is_ok(),
+            "garbage {g:?} produced unexpected reply {reply:?}"
+        );
+    }
+
+    // the same connection still answers real queries, bit-identically
+    {
+        let mut w = &stream;
+        writeln!(w, "0=0.1..0.9").unwrap();
+    }
+    assert_eq!(read_line(), format!("{direct:.6}"));
+
     frontend.stop();
     service.shutdown();
 }
