@@ -169,6 +169,13 @@ impl IamEstimator {
         self.nrows
     }
 
+    /// The (possibly persisted-and-reloaded) configuration. Lets callers
+    /// that receive models from untrusted bytes inspect cost knobs (e.g.
+    /// the per-query sample budget) before issuing estimates.
+    pub fn config(&self) -> &IamConfig {
+        &self.cfg
+    }
+
     /// Build and train in one call using `cfg.epochs`.
     pub fn fit(table: &Table, cfg: IamConfig) -> Self {
         let epochs = cfg.epochs;

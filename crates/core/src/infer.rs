@@ -260,6 +260,7 @@ pub fn estimate_batch_seeded_into(
         probs_all.reserve(nuniq * width);
         for u in 0..nuniq {
             net.row_softmax(logits, u, width, probs);
+            crate::invariant::check_softmax_mass(probs, "infer slot softmax");
             probs_all.extend_from_slice(probs);
         }
 
@@ -280,6 +281,7 @@ pub fn estimate_batch_seeded_into(
                     debug_assert_eq!(w.len(), width);
                     weighted.clear();
                     weighted.extend(probs.iter().zip(w).map(|(&p, &m)| p as f64 * m));
+                    crate::invariant::check_mass_vector(weighted, "bias-corrected slot weights");
                     sample_weighted(weighted, &mut p_hat[row], rng)
                 }
                 SlotConstraint::FactorLo { lo_idx, hi_idx, base } => {
@@ -313,6 +315,7 @@ pub fn estimate_batch_seeded_into(
         let dead = block.iter().filter(|&&x| x == 0.0).count() as u64;
         dead_samples += dead;
         results[q] = (block.iter().sum::<f64>() / sp as f64).clamp(0.0, 1.0);
+        crate::invariant::check_selectivity(results[q], "progressive-sampling estimate");
         p.samples_per_query.observe(sp as u64);
         p.renorm_mass_ppm.observe((results[q] * 1e6) as u64);
         if trace_on {

@@ -17,7 +17,12 @@
 //!   `SelectivityEstimator`) plus [`estimator::neurocard_lite`], the
 //!   Neurocard-style AR baseline (column factorisation, no reduction);
 //! * [`aqp`] — AVG/SUM/COUNT aggregate estimation over predicate regions
-//!   (the paper's stated future-work extension).
+//!   (the paper's stated future-work extension);
+//! * [`invariant`] — debug-build runtime checks for the numeric
+//!   invariants the sampler's unbiasedness depends on (softmax unit mass,
+//!   non-negative range masses, monotone CDFs, selectivities in `[0, 1]`);
+//!   compiled to nothing in release builds unless the `invariants`
+//!   feature is on.
 //!
 //! Training, planning and inference are instrumented with `iam-obs` probes
 //! (`iam_train_*` / `iam_plan_*` / `iam_infer_*` in the global registry,
@@ -30,6 +35,7 @@ pub mod aqp;
 pub mod config;
 pub mod estimator;
 pub mod infer;
+pub mod invariant;
 pub mod persist;
 mod probes;
 pub mod reduce;

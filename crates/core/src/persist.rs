@@ -18,7 +18,7 @@ use crate::reduce::{DomainReducer, GmmReducer, HistReducer, SplineReducer, UmmRe
 use crate::schema::{ColumnHandler, IamSchema};
 use iam_data::{ColumnEncoding, SelectivityEstimator};
 use iam_gmm::Gmm1d;
-use iam_nn::Parameters;
+use iam_nn::{MadeNet, Parameters};
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 4] = b"IAM1";
@@ -28,6 +28,25 @@ pub const FRAME_MAGIC: &[u8; 4] = b"IAMF";
 /// Upper bound on a framed snapshot's payload length; longer length
 /// prefixes are rejected as corrupt before any allocation happens.
 pub const MAX_SNAPSHOT_BYTES: u64 = 1 << 32;
+/// Upper bound on the AR network parameter count a snapshot may declare
+/// (2²⁷ f32s ≈ 512 MiB). The count is computed analytically from the
+/// snapshot's config *before* any network allocation, so a hostile
+/// few-hundred-byte header cannot request a terabyte-scale build.
+pub const MAX_SNAPSHOT_PARAMS: u64 = 1 << 27;
+/// Element cap for upfront `Vec` capacity while deserialising: lengths
+/// are attacker-controlled until the reads behind them succeed, so
+/// buffers start no larger than this and grow only as bytes actually
+/// arrive (allocation tracks delivered input, not declared input).
+const MAX_PREALLOC_ELEMS: usize = 1 << 16;
+/// Caps on snapshot-declared shapes that feed allocations or loop
+/// bounds downstream of the parse. Generous for every real model, tight
+/// enough that a corrupt-but-checksummed snapshot fails cleanly.
+const MAX_HIDDEN_LAYERS: usize = 64;
+const MAX_COMPONENTS: usize = 1 << 16;
+const MAX_HANDLERS: usize = 1 << 16;
+const MAX_SAMPLES: usize = 1 << 20;
+const MAX_MC_SAMPLES: usize = 1 << 20;
+const MAX_FACTOR_BASE: usize = 1 << 20;
 
 /// Errors raised by save/load.
 #[derive(Debug)]
@@ -97,15 +116,21 @@ fn r_len<R: Read>(r: &mut R) -> Result<usize, PersistError> {
     if n > (1 << 34) {
         return Err(PersistError::BadFormat("implausible length"));
     }
-    Ok(n as usize)
+    usize::try_from(n).map_err(|_| PersistError::BadFormat("length exceeds platform usize"))
 }
 fn r_vec_f64<R: Read>(r: &mut R) -> Result<Vec<f64>, PersistError> {
     let n = r_len(r)?;
-    (0..n).map(|_| r_f64(r)).collect()
+    // capacity capped: the declared length is untrusted until the reads
+    // behind it succeed, so memory grows with delivered bytes only
+    let mut out = Vec::with_capacity(n.min(MAX_PREALLOC_ELEMS));
+    for _ in 0..n {
+        out.push(r_f64(r)?);
+    }
+    Ok(out)
 }
 fn r_vec_f32<R: Read>(r: &mut R) -> Result<Vec<f32>, PersistError> {
     let n = r_len(r)?;
-    let mut out = Vec::with_capacity(n);
+    let mut out = Vec::with_capacity(n.min(MAX_PREALLOC_ELEMS));
     for _ in 0..n {
         let mut b = [0u8; 4];
         r.read_exact(&mut b)?;
@@ -113,10 +138,23 @@ fn r_vec_f32<R: Read>(r: &mut R) -> Result<Vec<f32>, PersistError> {
     }
     Ok(out)
 }
+/// Read exactly `n` bytes in bounded chunks — allocation tracks the
+/// bytes actually delivered, never the (untrusted) declared length.
+fn r_bytes_chunked<R: Read>(r: &mut R, n: usize) -> Result<Vec<u8>, PersistError> {
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    let mut chunk = [0u8; 16 * 1024];
+    let mut remaining = n;
+    while remaining > 0 {
+        let take = remaining.min(chunk.len());
+        r.read_exact(&mut chunk[..take])?;
+        out.extend_from_slice(&chunk[..take]);
+        remaining -= take;
+    }
+    Ok(out)
+}
 fn r_str<R: Read>(r: &mut R) -> Result<String, PersistError> {
     let n = r_len(r)?;
-    let mut b = vec![0u8; n];
-    r.read_exact(&mut b)?;
+    let b = r_bytes_chunked(r, n)?;
     String::from_utf8(b).map_err(|_| PersistError::BadFormat("non-utf8 string"))
 }
 
@@ -152,11 +190,21 @@ fn write_reducer<W: Write>(w: &mut W, r: &dyn DomainReducer) -> io::Result<()> {
     }
 }
 
+/// Every reducer constructor below has preconditions that `fit` upholds
+/// but wire bytes may not (`SplineReducer::from_knots` asserts, a
+/// zero-width GMM std turns masses into NaN, …). A snapshot that passed
+/// its checksum can still encode any of those — bit-rot on disk, or a
+/// hostile peer on the `iam-dist` snapshot-shipping channel — so the
+/// geometry is validated here and rejected as [`PersistError::BadFormat`]
+/// *before* any constructor (or a debug-build invariant) can panic.
 fn read_reducer<R: Read>(
     r: &mut R,
     mode: RangeMassMode,
     seed: u64,
 ) -> Result<Box<dyn DomainReducer>, PersistError> {
+    let bad = PersistError::BadFormat;
+    let all_finite = |v: &[f64]| v.iter().all(|x| x.is_finite());
+    let non_decreasing = |v: &[f64]| v.windows(2).all(|w| w[0] <= w[1]);
     let mut tag = [0u8; 1];
     r.read_exact(&mut tag)?;
     Ok(match tag[0] {
@@ -164,18 +212,45 @@ fn read_reducer<R: Read>(
             let weights = r_vec_f64(r)?;
             let means = r_vec_f64(r)?;
             let stds = r_vec_f64(r)?;
+            if weights.is_empty() || means.len() != weights.len() || stds.len() != weights.len() {
+                return Err(bad("GMM component arity mismatch"));
+            }
+            if !all_finite(&means)
+                || weights.iter().any(|&w| !w.is_finite() || w < 0.0)
+                || stds.iter().any(|&s| !s.is_finite() || s <= 0.0)
+            {
+                return Err(bad("degenerate GMM parameters"));
+            }
             Box::new(GmmReducer::new(Gmm1d::new(weights, means, stds), mode, seed))
         }
-        1 => Box::new(HistReducer::from_bounds(r_vec_f64(r)?)),
+        1 => {
+            let bounds = r_vec_f64(r)?;
+            if bounds.len() < 2 || !all_finite(&bounds) || !non_decreasing(&bounds) {
+                return Err(bad("degenerate histogram bounds"));
+            }
+            Box::new(HistReducer::from_bounds(bounds))
+        }
         2 => {
             let x = r_vec_f64(r)?;
             let f = r_vec_f64(r)?;
+            if x.len() < 2 || f.len() != x.len() || !all_finite(&x) || !non_decreasing(&x) {
+                return Err(bad("degenerate spline knots"));
+            }
+            if !non_decreasing(&f) || f.iter().any(|&v| !(0.0..=1.0).contains(&v)) {
+                return Err(bad("spline knot CDF not monotone in [0,1]"));
+            }
             Box::new(SplineReducer::from_knots(x, f))
         }
         3 => {
             let lo = r_vec_f64(r)?;
             let hi = r_vec_f64(r)?;
             let weights = r_vec_f64(r)?;
+            if lo.is_empty() || hi.len() != lo.len() || weights.len() != lo.len() {
+                return Err(bad("UMM component arity mismatch"));
+            }
+            if !all_finite(&lo) || !all_finite(&hi) || !all_finite(&weights) {
+                return Err(bad("degenerate UMM parameters"));
+            }
             Box::new(UmmReducer::from_parts(lo, hi, weights))
         }
         _ => return Err(PersistError::BadFormat("unknown reducer tag")),
@@ -258,7 +333,11 @@ impl IamEstimator {
         if &magic != MAGIC {
             return Err(PersistError::BadFormat("missing IAM1 magic"));
         }
+        let bad = PersistError::BadFormat;
         let components = r_len(r)?;
+        if components == 0 || components > MAX_COMPONENTS {
+            return Err(bad("component count out of range"));
+        }
         let auto_components = r_u64(r)? != 0;
         let reduce_threshold = r_len(r)?;
         let mut tag = [0u8; 1];
@@ -273,13 +352,30 @@ impl IamEstimator {
         let reduce_continuous = r_u64(r)? != 0;
         let factorize_threshold = r_len(r)?;
         let nh = r_len(r)?;
+        if nh == 0 || nh > MAX_HIDDEN_LAYERS {
+            return Err(bad("hidden layer count out of range"));
+        }
         let hidden: Vec<usize> = (0..nh).map(|_| r_len(r)).collect::<Result<_, _>>()?;
+        if hidden.contains(&0) {
+            return Err(bad("zero-width hidden layer"));
+        }
         let embed_dim = r_len(r)?;
+        if embed_dim == 0 {
+            return Err(bad("zero embedding dimension"));
+        }
+        // audit-allow(wire-int-cast): lr is stored widened as f64; narrowing
+        // back to the f32 it started as is lossless for every saved value
         let lr = r_f64(r)? as f32;
         let wildcard_skipping = r_u64(r)? != 0;
         let hard_range_weights = r_u64(r)? != 0;
         let samples = r_len(r)?;
+        if samples == 0 || samples > MAX_SAMPLES {
+            return Err(bad("sample budget out of range"));
+        }
         let mc = r_len(r)?;
+        if mc > MAX_MC_SAMPLES {
+            return Err(bad("monte-carlo sample count out of range"));
+        }
         let range_mass = if mc == 0 {
             RangeMassMode::Exact
         } else {
@@ -309,19 +405,34 @@ impl IamEstimator {
 
         // handlers
         let nc = r_len(r)?;
-        let mut handlers = Vec::with_capacity(nc);
+        if nc == 0 || nc > MAX_HANDLERS {
+            return Err(bad("handler count out of range"));
+        }
+        let mut handlers = Vec::with_capacity(nc.min(MAX_PREALLOC_ELEMS));
         for _ in 0..nc {
             let mut t = [0u8; 1];
             r.read_exact(&mut t)?;
             handlers.push(match t[0] {
-                0 => ColumnHandler::Direct(ColumnEncoding { distinct: r_vec_f64(r)? }),
+                0 => {
+                    let distinct = r_vec_f64(r)?;
+                    if distinct.is_empty() {
+                        return Err(bad("empty direct encoding"));
+                    }
+                    ColumnHandler::Direct(ColumnEncoding { distinct })
+                }
                 1 => ColumnHandler::Reduced(read_reducer(r, range_mass, seed ^ 0x9e3779b9)?),
                 2 => {
                     let base = r_len(r)?;
-                    ColumnHandler::Factorized {
-                        base,
-                        enc: ColumnEncoding { distinct: r_vec_f64(r)? },
+                    // base < 2 makes factorisation meaningless and base == 0
+                    // divides by zero in the slot-domain computation
+                    if !(2..=MAX_FACTOR_BASE).contains(&base) {
+                        return Err(bad("factorisation base out of range"));
                     }
+                    let distinct = r_vec_f64(r)?;
+                    if distinct.is_empty() {
+                        return Err(bad("empty factorized encoding"));
+                    }
+                    ColumnHandler::Factorized { base, enc: ColumnEncoding { distinct } }
                 }
                 _ => return Err(PersistError::BadFormat("bad handler tag")),
             });
@@ -329,7 +440,18 @@ impl IamEstimator {
         let mut schema = IamSchema::from_handlers(handlers, wildcard_skipping);
         schema.hard_range_weights = hard_range_weights;
 
+        // budget the network analytically before building it: the parameter
+        // count implied by (slot domains × hidden × embed) must be sane, so
+        // a corrupt-but-checksummed header can't request a terabyte build
+        match MadeNet::param_count_for(&schema.slot_domains, &cfg.hidden, cfg.embed_dim) {
+            Some(n) if n <= MAX_SNAPSHOT_PARAMS => {}
+            _ => return Err(bad("declared network exceeds parameter budget")),
+        }
+
         let flat = r_vec_f32(r)?;
+        if flat.iter().any(|x| !x.is_finite()) {
+            return Err(bad("non-finite network parameter"));
+        }
         let mut est = IamEstimator::from_parts(cfg, schema, nrows, &name)?;
         let mut cursor = 0usize;
         let mut overflow = false;
@@ -381,8 +503,12 @@ impl IamEstimator {
         if len > MAX_SNAPSHOT_BYTES {
             return Err(PersistError::BadFormat("implausible snapshot length"));
         }
-        let mut payload = vec![0u8; len as usize];
-        r.read_exact(&mut payload)?;
+        let len = usize::try_from(len)
+            .map_err(|_| PersistError::BadFormat("length exceeds platform usize"))?;
+        // chunked read: the length prefix is unauthenticated (the checksum
+        // covers only the payload), so allocation must track delivered
+        // bytes — a 9-byte hostile header cannot reserve gigabytes
+        let payload = r_bytes_chunked(r, len)?;
         let want = r_u64(r)?;
         if fnv1a(&payload) != want {
             return Err(PersistError::BadFormat("snapshot checksum mismatch"));

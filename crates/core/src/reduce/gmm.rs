@@ -77,6 +77,7 @@ impl DomainReducer for GmmReducer {
                 out.extend(cs.range_mass(iv.lo, iv.hi));
             }
         }
+        crate::invariant::check_mass_vector(out, "GMM range mass");
     }
 
     fn size_bytes(&self) -> usize {

@@ -73,6 +73,7 @@ impl DomainReducer for HistReducer {
                 f64::from(u8::from(lo <= blo && blo <= hi))
             });
         }
+        crate::invariant::check_mass_vector(out, "histogram range mass");
     }
 
     fn size_bytes(&self) -> usize {

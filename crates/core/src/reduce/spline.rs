@@ -74,6 +74,7 @@ impl SplineReducer {
     /// Rebuild from persisted knots.
     pub fn from_knots(knots_x: Vec<f64>, knots_f: Vec<f64>) -> Self {
         assert!(knots_x.len() >= 2 && knots_x.len() == knots_f.len());
+        crate::invariant::check_cdf_monotone(&knots_f, "spline knot CDF");
         SplineReducer { knots_x, knots_f }
     }
 
@@ -126,6 +127,7 @@ impl DomainReducer for SplineReducer {
                 f64::from(u8::from(lo <= xlo && xlo <= hi))
             });
         }
+        crate::invariant::check_mass_vector(out, "spline range mass");
     }
 
     fn size_bytes(&self) -> usize {

@@ -120,8 +120,15 @@ impl DomainReducer for UmmReducer {
         for j in 0..self.k() {
             let width = self.hi[j] - self.lo[j];
             let overlap = (hi.min(self.hi[j]) - lo.max(self.lo[j])).max(0.0);
-            out.push((overlap / width).min(1.0));
+            out.push(if width > 0.0 {
+                (overlap / width).min(1.0)
+            } else {
+                // zero-width bucket (possible via persisted geometry that
+                // `fit` would never produce): in or out entirely, never NaN
+                f64::from(u8::from(lo <= self.lo[j] && self.lo[j] <= hi))
+            });
         }
+        crate::invariant::check_mass_vector(out, "UMM range mass");
     }
 
     fn size_bytes(&self) -> usize {

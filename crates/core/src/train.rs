@@ -239,6 +239,8 @@ pub fn train_epoch(
     for chunk in order.chunks(bs) {
         // 1) GMM gradient step per reduced column (joint training)
         if cfg.joint_training {
+            // audit-allow(loop-instant): feeds the per-epoch phase-time
+            // accumulators; batch granularity, not per-row
             let t0 = std::time::Instant::now();
             let _span = iam_obs::span!("train.gmm_step");
             gmm_loss_sum += gmm_chunk_step(table, schema, gmm_trainers, chunk, threads);
@@ -246,6 +248,8 @@ pub fn train_epoch(
         }
 
         // 2) encode the batch with the current reducers
+        // audit-allow(loop-instant): feeds the per-epoch phase-time
+        // accumulators; batch granularity, not per-row
         let t0 = std::time::Instant::now();
         {
             let _span = iam_obs::span!("train.encode");
@@ -276,6 +280,8 @@ pub fn train_epoch(
         encode_secs += t0.elapsed().as_secs_f64();
 
         // 3) AR step
+        // audit-allow(loop-instant): feeds the per-epoch phase-time
+        // accumulators; batch granularity, not per-row
         let t0 = std::time::Instant::now();
         let _span = iam_obs::span!("train.ar_step");
         ar_loss_sum += net.train_batch_sharded(&inputs, &targets, chunk.len(), threads) as f64;

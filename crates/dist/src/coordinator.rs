@@ -240,6 +240,15 @@ impl Coordinator {
                 if r.is_err() {
                     self.skipped.inc();
                 }
+                if iam_core::invariant::ACTIVE {
+                    // scatter produced disjoint index sets, so the gather
+                    // must write each answer slot exactly once — a double
+                    // write means answers are crossing between queries
+                    iam_core::invariant::check(
+                        out[i].is_none(),
+                        "scatter/gather permutation wrote an answer slot twice",
+                    );
+                }
                 out[i] = Some(r);
             }
         }

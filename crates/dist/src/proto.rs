@@ -130,7 +130,9 @@ impl<'a> Cur<'a> {
     }
 
     fn u64(&mut self) -> Result<u64, DistError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let b: [u8; 8] =
+            self.take(8)?.try_into().map_err(|_| DistError::Protocol("truncated u64".into()))?;
+        Ok(u64::from_le_bytes(b))
     }
 
     fn f64(&mut self) -> Result<f64, DistError> {
@@ -142,10 +144,11 @@ impl<'a> Cur<'a> {
     /// `Vec::with_capacity`.
     fn len(&mut self) -> Result<usize, DistError> {
         let n = self.u64()?;
-        if n as usize > self.buf.len() - self.pos {
-            return Err(DistError::Protocol("length prefix exceeds message body".into()));
+        let remaining = self.buf.len() - self.pos;
+        match usize::try_from(n) {
+            Ok(n) if n <= remaining => Ok(n),
+            _ => Err(DistError::Protocol("length prefix exceeds message body".into())),
         }
-        Ok(n as usize)
     }
 
     fn str(&mut self) -> Result<String, DistError> {
@@ -338,10 +341,27 @@ pub fn read_msg<R: Read>(r: &mut R, max_frame: u32) -> Result<Option<Msg>, DistE
     if len > max_frame {
         return Err(DistError::FrameTooLarge { len: len as u64, max: max_frame as u64 });
     }
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
+    // chunked read: the length prefix is untrusted until the bytes behind
+    // it arrive, so allocation tracks delivered input (a hostile 4-byte
+    // header on a snapshot channel must not reserve a gigabyte upfront)
+    let len = usize::try_from(len)
+        .map_err(|_| DistError::Protocol("frame length exceeds platform usize".into()))?;
+    let mut payload = Vec::with_capacity(len.min(PAYLOAD_CHUNK));
+    let mut chunk = [0u8; PAYLOAD_CHUNK];
+    let mut remaining = len;
+    while remaining > 0 {
+        let take = remaining.min(chunk.len());
+        r.read_exact(&mut chunk[..take])?;
+        payload.extend_from_slice(&chunk[..take]);
+        remaining -= take;
+    }
     Msg::decode(&payload).map(Some)
 }
+
+/// Granularity of incremental payload reads (and the upfront capacity
+/// bound): big enough to amortise `Read` calls, small enough that a
+/// hostile length prefix reserves nothing of consequence.
+const PAYLOAD_CHUNK: usize = 16 * 1024;
 
 /// [`read_msg`] for readers with a read timeout installed (worker
 /// connection handlers): a `WouldBlock`/`TimedOut` poll is retried, and
@@ -395,9 +415,21 @@ pub fn read_msg_cancellable<R: Read>(
     if len > max_frame {
         return Err(DistError::FrameTooLarge { len: len as u64, max: max_frame as u64 });
     }
-    let mut payload = vec![0u8; len as usize];
-    if !fill(r, &mut payload, cancelled, false)? {
-        return Ok(None);
+    let len = usize::try_from(len)
+        .map_err(|_| DistError::Protocol("frame length exceeds platform usize".into()))?;
+    // chunked as in [`read_msg`]; each chunk keeps `fill`'s accumulate-
+    // across-retries behaviour, so cancellation polls still never tear a
+    // frame and allocation still tracks delivered bytes only
+    let mut payload = Vec::with_capacity(len.min(PAYLOAD_CHUNK));
+    let mut chunk = [0u8; PAYLOAD_CHUNK];
+    let mut remaining = len;
+    while remaining > 0 {
+        let take = remaining.min(chunk.len());
+        if !fill(r, &mut chunk[..take], cancelled, false)? {
+            return Ok(None);
+        }
+        payload.extend_from_slice(&chunk[..take]);
+        remaining -= take;
     }
     Msg::decode(&payload).map(Some)
 }

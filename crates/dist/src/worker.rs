@@ -176,8 +176,7 @@ impl WorkerHandle {
             let (state, stop, conns) = (Arc::clone(&state), Arc::clone(&stop), Arc::clone(&conns));
             std::thread::Builder::new()
                 .name("iam-dist-accept".into())
-                .spawn(move || accept_loop(listener, &state, &stop, &conns))
-                .expect("spawn accept loop")
+                .spawn(move || accept_loop(listener, &state, &stop, &conns))?
         };
         Ok(WorkerHandle { addr, stop, accept_thread, conns, state, shutdown_rx })
     }
@@ -231,13 +230,18 @@ fn accept_loop(
             Ok((stream, _peer)) => {
                 let state = Arc::clone(state);
                 let stop = Arc::clone(stop);
-                let handle = std::thread::Builder::new()
-                    .name("iam-dist-conn".into())
-                    .spawn(move || {
+                let spawned =
+                    std::thread::Builder::new().name("iam-dist-conn".into()).spawn(move || {
                         let _ = handle_connection(stream, &state, &stop);
-                    })
-                    .expect("spawn connection handler");
-                conns.lock().unwrap_or_else(|p| p.into_inner()).push(handle);
+                    });
+                match spawned {
+                    Ok(handle) => {
+                        conns.lock().unwrap_or_else(|p| p.into_inner()).push(handle);
+                    }
+                    // thread exhaustion is a transient resource failure: drop
+                    // this connection (the stream closes) and keep accepting
+                    Err(_) => continue,
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(10));

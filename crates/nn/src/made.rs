@@ -843,6 +843,36 @@ impl MadeNet {
     pub fn size_bytes(&mut self) -> usize {
         self.num_params() * std::mem::size_of::<f32>()
     }
+
+    /// The parameter count [`MadeNet::new`] would produce for this shape,
+    /// computed **without allocating anything** and with checked
+    /// arithmetic (`None` on overflow). Deserialisers use it to reject an
+    /// implausible snapshot config *before* network construction commits
+    /// the memory (a hostile few-hundred-byte header must not be able to
+    /// request a terabyte-scale allocation).
+    pub fn param_count_for(domains: &[usize], hidden: &[usize], embed_dim: usize) -> Option<u64> {
+        if domains.is_empty() || hidden.is_empty() {
+            return None;
+        }
+        let e = embed_dim as u64;
+        let mut total: u64 = 0;
+        // embeddings: one (domain + 1 MASK row) × e table per column
+        for &d in domains {
+            total = total.checked_add((d as u64).checked_add(1)?.checked_mul(e)?)?;
+        }
+        // input layer: (n·e) × h0 weights + h0 bias
+        let in_dim = (domains.len() as u64).checked_mul(e)?;
+        let mut prev = in_dim;
+        for &h in hidden {
+            let h = h as u64;
+            total = total.checked_add(prev.checked_mul(h)?.checked_add(h)?)?;
+            prev = h;
+        }
+        // output layer: h_last × Σ|A_i| weights + Σ|A_i| bias
+        let logits = domains.iter().try_fold(0u64, |a, &d| a.checked_add(d as u64))?;
+        total = total.checked_add(prev.checked_mul(logits)?.checked_add(logits)?)?;
+        Some(total)
+    }
 }
 
 impl Parameters for MadeNet {
@@ -1169,6 +1199,32 @@ mod tests {
         // embeddings: (4+1)*8 + (3+1)*8 = 72; layers exist too
         assert!(n_params > 72);
         assert_eq!(net.size_bytes(), n_params * 4);
+    }
+
+    #[test]
+    fn param_count_for_matches_construction() {
+        for (domains, hidden, embed) in [
+            (vec![4usize, 3], vec![16usize, 16], 8usize),
+            (vec![7], vec![32], 4),
+            (vec![2, 9, 5, 11], vec![24, 12, 24], 6),
+        ] {
+            let mut net = MadeNet::new(MadeConfig {
+                domain_sizes: domains.clone(),
+                hidden: hidden.clone(),
+                embed_dim: embed,
+                residual: true,
+                seed: 3,
+            });
+            assert_eq!(
+                MadeNet::param_count_for(&domains, &hidden, embed),
+                Some(net.num_params() as u64),
+                "shape {domains:?} {hidden:?} e={embed}"
+            );
+        }
+        // degenerate and overflowing shapes answer None instead of lying
+        assert_eq!(MadeNet::param_count_for(&[], &[8], 4), None);
+        assert_eq!(MadeNet::param_count_for(&[4], &[], 4), None);
+        assert_eq!(MadeNet::param_count_for(&[usize::MAX, usize::MAX], &[8], usize::MAX), None);
     }
 
     #[test]

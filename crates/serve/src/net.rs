@@ -114,8 +114,7 @@ impl TcpFrontend {
             let (stop, conns) = (Arc::clone(&stop), Arc::clone(&conns));
             std::thread::Builder::new()
                 .name("iam-serve-accept".into())
-                .spawn(move || accept_loop(listener, client, &stop, &conns))
-                .expect("spawn accept loop")
+                .spawn(move || accept_loop(listener, client, &stop, &conns))?
         };
         Ok(TcpFrontend { addr, stop, accept_thread, conns })
     }

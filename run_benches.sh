@@ -1,6 +1,6 @@
 #!/bin/sh
 # Regenerates every paper table/figure. Scale via IAM_BENCH_* env vars.
-set -x
+set -eux
 cargo bench -p iam-bench --bench table2_wisdm
 cargo bench -p iam-bench --bench table3_twi
 cargo bench -p iam-bench --bench table4_higgs
