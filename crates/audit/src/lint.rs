@@ -324,6 +324,35 @@ mod tests {
     }
 
     #[test]
+    fn obs_handle_cache_flags_lookup_in_loop() {
+        let src = "fn drain(reg: &Registry, xs: &[u64]) {\n    for x in xs {\n        reg.counter(\"iam_x_total\", &[]).add(*x);\n    }\n}\n";
+        let r = lint_source("crates/serve/src/service.rs", src);
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert_eq!(r.findings[0].rule, "obs-handle-cache");
+        assert!(r.findings[0].message.contains("a loop"));
+    }
+
+    #[test]
+    fn obs_handle_cache_flags_lookup_in_span_fn() {
+        let src = "fn hot(reg: &Registry) {\n    let _s = iam_obs::span!(\"infer.query\");\n    reg.histogram(\"iam_x_ms\", &[], &B).observe(1);\n}\n";
+        let r = lint_source("crates/core/src/infer.rs", src);
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert!(r.findings[0].message.contains("span-instrumented"));
+    }
+
+    #[test]
+    fn obs_handle_cache_allows_constructors_and_waivers() {
+        // cold constructor: no loop, no span — the cached-handle pattern
+        let cold = "fn new(reg: &Registry) -> Probes {\n    Probes { hits: reg.counter(\"iam_hits_total\", &[]) }\n}\n";
+        assert!(lint_source("crates/core/src/probes.rs", cold).findings.is_empty());
+        // waiver syntax works for this rule like any other
+        let waived = "fn drain(reg: &Registry, xs: &[u64]) {\n    for x in xs {\n        reg.counter(\"iam_x_total\", &[]).add(*x); // audit-allow(obs-handle-cache): cold shutdown path, runs once\n    }\n}\n";
+        let r = lint_source("crates/serve/src/service.rs", waived);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.waived, 1);
+    }
+
+    #[test]
     fn json_escapes_and_shapes() {
         let report = LintReport {
             findings: vec![Finding {

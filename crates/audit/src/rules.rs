@@ -64,6 +64,14 @@ pub fn registry() -> Vec<Rule> {
                           (canonical summation order requires the grouped kernels)",
             check: fused_forward,
         },
+        Rule {
+            id: "obs-handle-cache",
+            description: "no registry handle lookups (counter/gauge/histogram) inside \
+                          loops or span-instrumented functions — each lookup takes the \
+                          registry lock; resolve handles once into a cached \
+                          OnceLock/struct field",
+            check: obs_handle_cache,
+        },
     ]
 }
 
@@ -252,6 +260,46 @@ fn fused_forward(relpath: &str, lines: &[Line], st: &Structure) -> Vec<RawFindin
                 message: msg.to_string(),
             });
         }
+    }
+    out
+}
+
+// --- obs-handle-cache ------------------------------------------------------
+
+/// Registry lookup calls that take the registry's lock and walk its map.
+/// Fine at construction time; inside a loop or a span-instrumented (i.e.
+/// hot) function they belong in a cached handle resolved once.
+const HANDLE_LOOKUPS: &[&str] = &[".counter(\"", ".gauge(\"", ".float_gauge(\"", ".histogram(\""];
+
+fn obs_handle_cache(relpath: &str, lines: &[Line], st: &Structure) -> Vec<RawFinding> {
+    if !SPAN_CRATES.iter().any(|p| relpath.starts_with(p)) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        if !HANDLE_LOOKUPS.iter().any(|p| line.code.contains(p)) {
+            continue;
+        }
+        let Some(f) = st.enclosing_fn(i) else { continue };
+        if f.is_test {
+            continue;
+        }
+        let fn_has_span =
+            lines[f.start..=f.end.min(lines.len() - 1)].iter().any(|l| l.code.contains("span!("));
+        if !st.in_loop(i) && !fn_has_span {
+            continue;
+        }
+        let place = if st.in_loop(i) { "a loop" } else { "the span-instrumented" };
+        out.push(RawFinding {
+            line: i,
+            snippet: line.code.trim().to_string(),
+            message: format!(
+                "registry handle lookup inside {place} fn `{}`; each lookup \
+                 locks the registry — resolve the handle once (OnceLock \
+                 static or a field built at construction) and reuse it",
+                f.name
+            ),
+        });
     }
     out
 }

@@ -1,0 +1,217 @@
+//! Served-accuracy observability: drives a seeded workload through the
+//! full serving stack with q-error tracking on, REPORTs exact true counts
+//! (computed by brute-force scan), and writes the resulting q-error
+//! distribution to `BENCH_qerror.json` — accuracy trends land next to the
+//! perf trajectory in the other BENCH_* files.
+//!
+//! The same run measures the serve-path cost of the observability layer:
+//! closed-loop estimate throughput with everything off versus with spans,
+//! trace-tree recording, a live trace context, and q-error sampling all
+//! enabled. The repo's budget for that delta is <3%; set
+//! `IAM_BENCH_OBS_BUDGET_PCT` (as in CI) to fail the run when the
+//! measured overhead exceeds it.
+//!
+//! Environment knobs: `IAM_BENCH_QERROR_QUERIES` (workload size, default
+//! 256), `IAM_BENCH_OBS_BUDGET_PCT` (overhead gate, default off).
+
+use iam_core::{IamConfig, IamEstimator};
+use iam_data::exec::exact_selectivity_ranges;
+use iam_data::synth::Dataset;
+use iam_data::{RangeQuery, Table, WorkloadConfig, WorkloadGenerator};
+use iam_obs::qerror::q_error;
+use iam_serve::{ServeConfig, Service};
+use std::time::Instant;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Closed-loop estimates over the pool; returns queries/second. The
+/// services used here run with the result cache off, so every call is a
+/// full inference — the realistic denominator for the obs budget.
+fn throughput(service: &Service, pool: &[RangeQuery]) -> f64 {
+    let client = service.client();
+    let t0 = Instant::now();
+    for q in pool {
+        client.estimate(q).expect("estimate");
+    }
+    pool.len() as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+}
+
+fn write_json(
+    n: usize,
+    table: &Table,
+    qs: &[f64],
+    per_col: &[(String, f64, f64)],
+    qps_off: f64,
+    qps_on: f64,
+    overhead_pct: f64,
+) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_qerror.json");
+    let host_parallelism = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut sorted = qs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"host_parallelism\": {host_parallelism},\n"));
+    s.push_str(&format!("  \"queries\": {n},\n"));
+    s.push_str(&format!("  \"dataset_rows\": {},\n", table.nrows()));
+    s.push_str(&format!("  \"qerror_p50\": {:.4},\n", percentile(&sorted, 0.50)));
+    s.push_str(&format!("  \"qerror_p95\": {:.4},\n", percentile(&sorted, 0.95)));
+    s.push_str(&format!("  \"qerror_p99\": {:.4},\n", percentile(&sorted, 0.99)));
+    s.push_str(&format!("  \"qerror_max\": {:.4},\n", sorted.last().copied().unwrap_or(f64::NAN)));
+    s.push_str("  \"per_column\": [\n");
+    for (i, (col, mean, max)) in per_col.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"col\": \"{col}\", \"mean\": {mean:.4}, \"max\": {max:.4}}}{}\n",
+            if i + 1 < per_col.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!("  \"qps_obs_off\": {qps_off:.1},\n"));
+    s.push_str(&format!("  \"qps_obs_on\": {qps_on:.1},\n"));
+    s.push_str(&format!("  \"obs_overhead_pct\": {overhead_pct:.2}\n"));
+    s.push_str("}\n");
+    match std::fs::write(path, &s) {
+        Ok(()) => eprintln!("[qerror] wrote {path}"),
+        Err(e) => eprintln!("[qerror] could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let n = env_usize("IAM_BENCH_QERROR_QUERIES", 256);
+
+    let table = Dataset::Wisdm.generate(20_000, 42);
+    let ncols = table.ncols();
+    println!("training IAM on {} ({} rows) …", Dataset::Wisdm.name(), table.nrows());
+    let cfg = IamConfig {
+        components: 8,
+        hidden: vec![48, 48],
+        embed_dim: 8,
+        epochs: 2,
+        samples: 200,
+        seed: 7,
+        ..IamConfig::small()
+    };
+    let model = IamEstimator::fit(&table, cfg.clone());
+    let nrows = table.nrows() as u64;
+
+    let mut gen = WorkloadGenerator::new(&table, WorkloadConfig::default(), 99);
+    let pool: Vec<RangeQuery> =
+        gen.gen_queries(n).iter().map(|q| q.normalize(ncols).unwrap().0).collect();
+
+    let service = Service::start(
+        model,
+        "bench",
+        ServeConfig { qerror_capacity: n, qerror_seed: 7, ..ServeConfig::default() },
+    );
+    let client = service.client();
+
+    // --- accuracy: estimate, scan for truth, REPORT ----------------------
+    println!("q-error over {n} seeded queries (exact true counts by scan) …");
+    let mut qs = Vec::with_capacity(pool.len());
+    for rq in &pool {
+        let est = client.estimate(rq).expect("estimate");
+        let true_count = (exact_selectivity_ranges(&table, rq) * nrows as f64).round() as u64;
+        let q = service
+            .report_true_count(rq.canonical_key(), true_count)
+            .expect("reservoir holds the whole workload");
+        debug_assert!((q - q_error(est, true_count, nrows)).abs() < 1e-9);
+        qs.push(q);
+    }
+    let mut sorted = qs.clone();
+    sorted.sort_by(f64::total_cmp);
+    println!(
+        "  p50 {:.3}  p95 {:.3}  p99 {:.3}  max {:.3}",
+        percentile(&sorted, 0.50),
+        percentile(&sorted, 0.95),
+        percentile(&sorted, 0.99),
+        sorted.last().copied().unwrap_or(f64::NAN),
+    );
+
+    // per-column attribution: a query's q-error is charged to every
+    // column it constrains, mirroring the per-column gauges in STATS
+    let mut per_col: Vec<(String, f64, f64)> = Vec::new();
+    let mut by_col: std::collections::BTreeMap<String, Vec<f64>> = Default::default();
+    for (rq, &q) in pool.iter().zip(&qs) {
+        for (c, slot) in rq.cols.iter().enumerate() {
+            if slot.is_some() {
+                by_col.entry(c.to_string()).or_default().push(q);
+            }
+        }
+    }
+    for (col, v) in by_col {
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        let max = v.iter().copied().fold(f64::MIN, f64::max);
+        println!("  col {col}: mean {mean:.3}, max {max:.3} over {} queries", v.len());
+        per_col.push((col, mean, max));
+    }
+
+    // --- obs overhead: everything off vs tracing + q-error on ------------
+    // Two services over identical twin models (training is deterministic,
+    // see tests/train_determinism.rs), result cache off so every call runs
+    // real inference. The modes interleave rep by rep and each takes its
+    // best pass, which cancels thermal / scheduler drift that a strict
+    // off-then-on ordering would fold into the delta.
+    let ovh_cfg = IamConfig { epochs: 1, ..cfg.clone() };
+    let serve_cfg = ServeConfig { cache_capacity: 0, ..ServeConfig::default() };
+    let serve_off = Service::start(
+        IamEstimator::fit(&table, ovh_cfg.clone()),
+        "bench-obs-off",
+        serve_cfg.clone(),
+    );
+    let serve_on = Service::start(
+        IamEstimator::fit(&table, ovh_cfg),
+        "bench-obs-on",
+        ServeConfig { qerror_capacity: pool.len(), qerror_seed: 7, ..serve_cfg },
+    );
+
+    let reps = 3;
+    println!("\nobs overhead — {reps} interleaved reps of {} full inferences per mode", pool.len());
+    iam_obs::tracetree::set_process_label("bench");
+    let mut trace_gen = iam_obs::TraceIdGen::new(7);
+    throughput(&serve_off, &pool); // one unmeasured warm pass per service
+    throughput(&serve_on, &pool);
+    let (mut qps_off, mut qps_on) = (f64::MIN, f64::MIN);
+    let mut traced = 0usize;
+    for _ in 0..reps {
+        qps_off = qps_off.max(throughput(&serve_off, &pool));
+
+        iam_obs::span::enable();
+        iam_obs::tracetree::enable();
+        let ctx = iam_obs::tracetree::install(iam_obs::TraceCtx::root(trace_gen.next_trace_id()));
+        qps_on = qps_on.max(throughput(&serve_on, &pool));
+        drop(ctx);
+        iam_obs::span::disable();
+        iam_obs::tracetree::disable();
+        traced += iam_obs::tracetree::drain().len();
+    }
+    serve_off.shutdown();
+    serve_on.shutdown();
+
+    let overhead_pct = (1.0 - qps_on / qps_off) * 100.0;
+    println!(
+        "  obs off: {qps_off:.0} q/s\n  obs on:  {qps_on:.0} q/s ({traced} spans recorded)\n  \
+         overhead: {overhead_pct:.2}%"
+    );
+
+    write_json(n, &table, &qs, &per_col, qps_off, qps_on, overhead_pct);
+
+    if let Ok(budget) = std::env::var("IAM_BENCH_OBS_BUDGET_PCT") {
+        let budget: f64 = budget.parse().expect("IAM_BENCH_OBS_BUDGET_PCT is a number");
+        if overhead_pct > budget {
+            eprintln!("[qerror] obs overhead {overhead_pct:.2}% exceeds budget {budget}%");
+            std::process::exit(1);
+        }
+        println!("obs overhead within the {budget}% budget");
+    }
+
+    service.shutdown();
+}

@@ -60,6 +60,9 @@ fn write_json(rows: &[SweepRow], nrows: usize) {
     let mut s = String::from("{\n");
     s.push_str(&format!("  \"dataset_rows\": {nrows},\n"));
     s.push_str(&format!("  \"host_cores\": {cores},\n"));
+    // same honesty marker BENCH_inference/BENCH_cluster carry: numbers are
+    // only comparable across runs on hosts with the same parallelism
+    s.push_str(&format!("  \"host_parallelism\": {cores},\n"));
     s.push_str("  \"configs\": [\n");
     for (i, r) in rows.iter().enumerate() {
         s.push_str(&format!(

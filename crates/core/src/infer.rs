@@ -387,11 +387,15 @@ pub fn estimate_batch_parallel(
         results.len(),
         "chunk decomposition must cover the tail chunk"
     );
+    // the trace context is thread-local; hand each fan-out thread a child
+    // context so infer spans still stitch into the caller's trace tree
+    let ctx = iam_obs::tracetree::child_ctx();
     std::thread::scope(|s| {
         for ((pc, sc), rc) in
             plans.chunks(chunk).zip(seeds.chunks(chunk)).zip(results.chunks_mut(chunk))
         {
             s.spawn(move || {
+                let _ctx = ctx.map(iam_obs::tracetree::install);
                 let mut scratch = pool.take();
                 estimate_batch_seeded_into(
                     net,

@@ -2,7 +2,13 @@
 //!
 //! ```text
 //! iam-dist-worker [--addr 127.0.0.1:0] [--serve-workers N] [--max-batch N]
+//!                 [--obs-label NAME]
 //! ```
+//!
+//! `--obs-label` turns span collection and trace-tree recording on (both
+//! are off by default) and stamps NAME as this process's label in every
+//! span record it ships back to the coordinator — pass a distinct label
+//! per worker so merged traces attribute spans to the right process.
 //!
 //! Binds the given address (port 0 picks a free port), prints a single
 //! `LISTENING <addr>` line on stdout so a parent process can harvest the
@@ -38,6 +44,11 @@ fn main() {
                     eprintln!("bad --max-batch value");
                     std::process::exit(2);
                 })
+            }
+            "--obs-label" => {
+                iam_obs::tracetree::set_process_label(&value("--obs-label"));
+                iam_obs::span::enable();
+                iam_obs::tracetree::enable();
             }
             other => {
                 eprintln!("unknown argument {other:?}");

@@ -33,10 +33,10 @@
 
 use crate::error::DistError;
 use crate::placement::{PlacementMap, WorkerId};
-use crate::proto::{read_msg, write_msg, Msg, MAX_FRAME};
+use crate::proto::{read_frame, write_request, Msg, MAX_FRAME};
 use iam_core::IamEstimator;
 use iam_data::RangeQuery;
-use iam_obs::Registry;
+use iam_obs::{Registry, TraceCtx};
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::{Arc, Mutex};
@@ -57,6 +57,10 @@ pub struct DistConfig {
     pub ship_timeout: Duration,
     /// Largest reply frame accepted from a worker.
     pub max_frame: u32,
+    /// Seed for the coordinator's trace-id generator — trace ids are a
+    /// deterministic function of this seed and the batch sequence, never
+    /// ambient entropy, so traces replay bit-identically in tests.
+    pub trace_seed: u64,
 }
 
 impl Default for DistConfig {
@@ -67,6 +71,7 @@ impl Default for DistConfig {
             connect_timeout: Duration::from_secs(2),
             ship_timeout: Duration::from_secs(30),
             max_frame: MAX_FRAME,
+            trace_seed: 0x7ACE_5EED,
         }
     }
 }
@@ -83,6 +88,7 @@ impl WorkerConn {
     fn rpc(
         &self,
         msg: &Msg,
+        ctx: Option<TraceCtx>,
         deadline: Instant,
         connect_timeout: Duration,
         max_frame: u32,
@@ -100,9 +106,15 @@ impl WorkerConn {
                 deadline.checked_duration_since(Instant::now()).ok_or(DistError::Timeout)?;
             stream.set_write_timeout(Some(remaining))?;
             stream.set_read_timeout(Some(remaining))?;
-            write_msg(stream, msg)?;
-            read_msg(stream, max_frame)?
-                .ok_or_else(|| DistError::Protocol("worker closed mid-rpc".into()))
+            write_request(stream, msg, ctx)?;
+            let frame = read_frame(stream, max_frame)?
+                .ok_or_else(|| DistError::Protocol("worker closed mid-rpc".into()))?;
+            // spans the worker recorded under our trace ride back on the
+            // reply; merge them so one local drain yields the whole tree
+            if !frame.spans.is_empty() {
+                iam_obs::tracetree::absorb(frame.spans);
+            }
+            Ok(frame.msg)
         })();
         if result.is_err() {
             // never reuse a stream after a failure: a timed-out reply could
@@ -144,6 +156,7 @@ pub struct Coordinator {
     workers: Vec<WorkerConn>,
     placement: PlacementMap,
     cfg: DistConfig,
+    trace_gen: Mutex<iam_obs::TraceIdGen>,
     batches: Arc<iam_obs::Counter>,
     queries: Arc<iam_obs::Counter>,
     rpcs: Vec<Arc<iam_obs::Counter>>,
@@ -182,6 +195,7 @@ impl Coordinator {
                 .map(|addr| WorkerConn { addr, stream: Mutex::new(None) })
                 .collect(),
             placement,
+            trace_gen: Mutex::new(iam_obs::TraceIdGen::new(cfg.trace_seed)),
             cfg,
         }
     }
@@ -200,6 +214,15 @@ impl Coordinator {
     /// input order. Failed tables are skipped with per-query errors —
     /// a dead worker never takes the whole batch down with it.
     pub fn estimate_batch(&self, batch: &[ClusterQuery]) -> Vec<Result<f64, DistError>> {
+        // with tracing on, each batch becomes one trace: a deterministic
+        // trace id rooted here, carried to workers on the RPC envelope
+        let root = if iam_obs::tracetree::enabled() {
+            let mut gen = self.trace_gen.lock().unwrap_or_else(|p| p.into_inner());
+            Some(TraceCtx::root(gen.next_trace_id()))
+        } else {
+            None
+        };
+        let _root_guard = root.map(iam_obs::tracetree::install);
         let _whole = iam_obs::span!("dist.scatter_gather");
         self.batches.inc();
         self.queries.add(batch.len() as u64);
@@ -216,12 +239,16 @@ impl Coordinator {
             groups
         };
 
-        // scatter: one thread per table group, replica failover inside
+        // scatter: one thread per table group, replica failover inside.
+        // The trace context is thread-local, so each scatter thread
+        // re-installs a child context parented under the scatter span.
+        let scatter_ctx = iam_obs::tracetree::child_ctx();
         let gathered: Vec<GroupResult> = std::thread::scope(|s| {
             let handles: Vec<_> = groups
                 .into_iter()
                 .map(|(table, idxs)| {
                     s.spawn(move || {
+                        let _ctx = scatter_ctx.map(iam_obs::tracetree::install);
                         let queries: Vec<RangeQuery> =
                             idxs.iter().map(|&i| batch[i].query.clone()).collect();
                         let results = self.estimate_group(table, queries);
@@ -273,8 +300,12 @@ impl Coordinator {
             }
             self.rpcs[wid].inc();
             let _s = iam_obs::span!("dist.rpc");
+            // worker spans parent under this attempt's rpc span, so a
+            // failover shows up as sibling rpc spans in the trace
+            let ctx = iam_obs::tracetree::child_ctx();
             match self.workers[wid].rpc(
                 &msg,
+                ctx,
                 deadline,
                 self.cfg.connect_timeout,
                 self.cfg.max_frame,
@@ -317,6 +348,7 @@ impl Coordinator {
                 self.rpcs[wid].inc();
                 let result = match self.workers[wid].rpc(
                     &msg,
+                    iam_obs::tracetree::child_ctx(),
                     deadline,
                     self.cfg.connect_timeout,
                     self.cfg.max_frame,
@@ -366,6 +398,7 @@ impl Coordinator {
                 let deadline = Instant::now() + self.cfg.rpc_timeout;
                 let r = match self.workers[wid].rpc(
                     &msg,
+                    None,
                     deadline,
                     self.cfg.connect_timeout,
                     self.cfg.max_frame,
@@ -387,6 +420,7 @@ impl Coordinator {
         let deadline = Instant::now() + self.cfg.rpc_timeout;
         match self.workers[worker].rpc(
             &Msg::Ping,
+            None,
             deadline,
             self.cfg.connect_timeout,
             self.cfg.max_frame,
@@ -396,6 +430,46 @@ impl Coordinator {
         }
     }
 
+    /// Scrape every worker's metrics registry (via [`Msg::Stats`]) and
+    /// merge the replies into one cluster-wide Prometheus exposition:
+    /// each worker's section carries a `worker="<index>"` label, repeated
+    /// `# TYPE` headers are deduplicated, and the coordinator's own
+    /// process-global registry (batch/failover/deadline-skip counters) is
+    /// appended once, unlabeled. A worker that fails to answer gets a
+    /// comment line instead of silently vanishing from the exposition.
+    pub fn cluster_prometheus(&self) -> String {
+        let mut parts = Vec::new();
+        for (i, conn) in self.workers.iter().enumerate() {
+            let deadline = Instant::now() + self.cfg.rpc_timeout;
+            match conn.rpc(
+                &Msg::Stats,
+                None,
+                deadline,
+                self.cfg.connect_timeout,
+                self.cfg.max_frame,
+            ) {
+                Ok(Msg::StatsReply { prom }) => {
+                    parts.push(crate::stats::inject_label(&prom, "worker", &i.to_string()));
+                }
+                _ => {
+                    self.rpc_failures[i].inc();
+                    parts.push(format!("# scrape failed: worker {i}\n"));
+                }
+            }
+        }
+        parts.push(Registry::global().render_prometheus());
+        crate::stats::merge_expositions(&parts)
+    }
+
+    /// Drain every buffered span — the coordinator's own plus the worker
+    /// spans absorbed from reply envelopes — and render the merged JSONL
+    /// trace and folded stacks. One scattered batch with tracing on shows
+    /// up here as a single trace id whose tree spans both processes.
+    pub fn drain_traces(&self) -> (String, String) {
+        let records = iam_obs::tracetree::drain();
+        (iam_obs::tracetree::to_jsonl(&records), iam_obs::tracetree::folded_stacks(&records))
+    }
+
     /// Ask every worker to drain and exit; best effort (already-dead
     /// workers are ignored).
     pub fn shutdown_cluster(&self) {
@@ -403,6 +477,7 @@ impl Coordinator {
             let deadline = Instant::now() + self.cfg.rpc_timeout;
             let _ = self.workers[w].rpc(
                 &Msg::Shutdown,
+                None,
                 deadline,
                 self.cfg.connect_timeout,
                 self.cfg.max_frame,

@@ -31,10 +31,12 @@ pub mod coordinator;
 pub mod error;
 pub mod placement;
 pub mod proto;
+pub mod stats;
 pub mod worker;
 
 pub use coordinator::{ClusterQuery, Coordinator, DistConfig, ShipOutcome};
 pub use error::DistError;
 pub use placement::{PlacementMap, WorkerId};
-pub use proto::{read_msg, write_msg, Msg, MAX_FRAME, MAX_SNAPSHOT_FRAME};
+pub use proto::{read_msg, write_msg, Frame, Msg, MAX_FRAME, MAX_SNAPSHOT_FRAME};
+pub use stats::MetricsFrontend;
 pub use worker::{WorkerConfig, WorkerHandle};

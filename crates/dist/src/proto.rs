@@ -19,15 +19,42 @@
 //! anything unintelligible with [`Msg::Error`] and keep the connection
 //! open (malformed *framing* closes it, since resynchronisation inside a
 //! byte stream is impossible).
+//!
+//! # Envelope versions
+//!
+//! The original (v1) payload starts directly with the message tag; tags
+//! are small (1..=13) and `0xFF` can never be one. Version 2 exploits
+//! that: a payload whose first byte is [`ENVELOPE_MARKER`] (`0xFF`)
+//! carries an *envelope* — `[0xFF][version][flags][optional trace
+//! context][optional span records]` — followed by an ordinary v1 message
+//! payload. [`Frame::decode`] accepts both shapes, so a v2 reader
+//! interoperates with v1 peers bidirectionally: old frames decode as
+//! envelopes with no context, and a v2 frame sent without tracing enabled
+//! is byte-identical to a v1 frame. The trace context is a 128-bit trace
+//! id plus parent span id ([`TraceCtx`]); span records piggyback worker
+//! span buffers onto replies so the coordinator can stitch one
+//! cross-process trace tree (see `iam_obs::tracetree`).
 
 use crate::error::DistError;
 use iam_data::{Interval, RangeQuery};
+use iam_obs::tracetree::SpanRecord;
+use iam_obs::TraceCtx;
 use std::io::{Read, Write};
 
 /// Hard bound on ordinary (query/control) frame payloads: 16 MiB.
 pub const MAX_FRAME: u32 = 16 << 20;
 /// Hard bound on snapshot-bearing frame payloads: 1 GiB.
 pub const MAX_SNAPSHOT_FRAME: u32 = 1 << 30;
+
+/// First payload byte announcing a versioned envelope (never a valid v1
+/// message tag).
+pub const ENVELOPE_MARKER: u8 = 0xFF;
+/// Current envelope version.
+pub const ENVELOPE_VERSION: u8 = 2;
+/// Envelope flag: a [`TraceCtx`] follows the header.
+const FLAG_CTX: u8 = 0b0000_0001;
+/// Envelope flag: a span-record list follows the (optional) context.
+const FLAG_SPANS: u8 = 0b0000_0010;
 
 /// One protocol message (either direction).
 #[derive(Debug, Clone, PartialEq)]
@@ -83,6 +110,13 @@ pub enum Msg {
     Shutdown,
     /// Reply to [`Msg::Shutdown`], sent just before the worker stops.
     ShutdownAck,
+    /// Ask the worker for its metrics exposition (cluster metrics plane).
+    Stats,
+    /// Reply to [`Msg::Stats`].
+    StatsReply {
+        /// Prometheus text exposition of the worker's registries.
+        prom: String,
+    },
     /// Application-level failure (unknown table, bad batch, failed
     /// snapshot install). The connection stays usable.
     Error {
@@ -261,6 +295,11 @@ impl Msg {
                 out.push(11);
                 w_str(&mut out, message);
             }
+            Msg::Stats => out.push(12),
+            Msg::StatsReply { prom } => {
+                out.push(13);
+                w_str(&mut out, prom);
+            }
         }
         out
     }
@@ -302,6 +341,8 @@ impl Msg {
             9 => Msg::Shutdown,
             10 => Msg::ShutdownAck,
             11 => Msg::Error { message: cur.str()? },
+            12 => Msg::Stats,
+            13 => Msg::StatsReply { prom: cur.str()? },
             t => return Err(DistError::Protocol(format!("unknown message tag {t}"))),
         };
         if cur.pos != buf.len() {
@@ -314,9 +355,160 @@ impl Msg {
     }
 }
 
+// --- envelope codec (v2) ---------------------------------------------------
+
+/// A message plus its optional envelope extras: the trace context a
+/// request carries forward, and the span records a reply ships back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// The message itself.
+    pub msg: Msg,
+    /// Trace context (requests: coordinator → worker).
+    pub ctx: Option<TraceCtx>,
+    /// Span records (replies: worker → coordinator).
+    pub spans: Vec<SpanRecord>,
+}
+
+impl From<Msg> for Frame {
+    fn from(msg: Msg) -> Frame {
+        Frame { msg, ctx: None, spans: Vec::new() }
+    }
+}
+
+fn encode_span(out: &mut Vec<u8>, s: &SpanRecord) {
+    w_u64(out, (s.trace_id >> 64) as u64);
+    w_u64(out, s.trace_id as u64);
+    w_u64(out, s.span_id);
+    w_u64(out, s.parent_span);
+    w_str(out, &s.name);
+    w_str(out, &s.proc);
+    w_u64(out, s.start_unix_us);
+    w_u64(out, s.dur_us);
+}
+
+fn decode_span(cur: &mut Cur) -> Result<SpanRecord, DistError> {
+    let hi = cur.u64()?;
+    let lo = cur.u64()?;
+    Ok(SpanRecord {
+        trace_id: ((hi as u128) << 64) | lo as u128,
+        span_id: cur.u64()?,
+        parent_span: cur.u64()?,
+        name: cur.str()?,
+        proc: cur.str()?,
+        start_unix_us: cur.u64()?,
+        dur_us: cur.u64()?,
+    })
+}
+
+impl Frame {
+    /// Encode into a payload (no frame header). A frame with neither
+    /// context nor spans encodes as a bare v1 payload — byte-identical to
+    /// [`Msg::encode`] — so tracing-off clusters speak exactly the old
+    /// protocol, and v1 peers only ever see bytes they understand as long
+    /// as tracing stays off.
+    pub fn encode(&self) -> Vec<u8> {
+        if self.ctx.is_none() && self.spans.is_empty() {
+            return self.msg.encode();
+        }
+        let mut out = Vec::new();
+        out.push(ENVELOPE_MARKER);
+        out.push(ENVELOPE_VERSION);
+        let mut flags = 0u8;
+        if self.ctx.is_some() {
+            flags |= FLAG_CTX;
+        }
+        if !self.spans.is_empty() {
+            flags |= FLAG_SPANS;
+        }
+        out.push(flags);
+        if let Some(ctx) = self.ctx {
+            w_u64(&mut out, (ctx.trace_id >> 64) as u64);
+            w_u64(&mut out, ctx.trace_id as u64);
+            w_u64(&mut out, ctx.parent_span);
+        }
+        if !self.spans.is_empty() {
+            w_u64(&mut out, self.spans.len() as u64);
+            for s in &self.spans {
+                encode_span(&mut out, s);
+            }
+        }
+        out.extend_from_slice(&self.msg.encode());
+        out
+    }
+
+    /// Decode a payload in either envelope version: a leading
+    /// [`ENVELOPE_MARKER`] byte introduces a v2 envelope, anything else is
+    /// a bare v1 message (backward compatibility — old-version frames
+    /// decode as frames with no context or spans). Unknown *future*
+    /// envelope versions are rejected rather than misparsed.
+    pub fn decode(buf: &[u8]) -> Result<Frame, DistError> {
+        if buf.first() != Some(&ENVELOPE_MARKER) {
+            return Ok(Frame::from(Msg::decode(buf)?));
+        }
+        let mut cur = Cur { buf, pos: 1 };
+        let version = cur.u8()?;
+        if version != ENVELOPE_VERSION {
+            return Err(DistError::Protocol(format!("unsupported envelope version {version}")));
+        }
+        let flags = cur.u8()?;
+        if flags & !(FLAG_CTX | FLAG_SPANS) != 0 {
+            return Err(DistError::Protocol(format!("unknown envelope flags {flags:#04x}")));
+        }
+        let ctx = if flags & FLAG_CTX != 0 {
+            let hi = cur.u64()?;
+            let lo = cur.u64()?;
+            let trace_id = ((hi as u128) << 64) | lo as u128;
+            Some(TraceCtx { trace_id, parent_span: cur.u64()? })
+        } else {
+            None
+        };
+        let mut spans = Vec::new();
+        if flags & FLAG_SPANS != 0 {
+            let n = cur.len()?;
+            spans.reserve(n.min(1024));
+            for _ in 0..n {
+                spans.push(decode_span(&mut cur)?);
+            }
+        }
+        let msg = Msg::decode(&buf[cur.pos..])?;
+        Ok(Frame { msg, ctx, spans })
+    }
+}
+
 /// Write one framed message.
 pub fn write_msg<W: Write>(w: &mut W, msg: &Msg) -> Result<(), DistError> {
-    let payload = msg.encode();
+    write_payload(w, msg.encode())
+}
+
+/// Write one framed message with envelope extras (context, span records).
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<(), DistError> {
+    write_payload(w, frame.encode())
+}
+
+/// Write one framed request with an optional trace context, borrowing the
+/// message — the coordinator reuses one request message across failover
+/// attempts and must not clone snapshot payloads per attempt. Without a
+/// context this is byte-identical to [`write_msg`] (bare v1 frame).
+pub fn write_request<W: Write>(
+    w: &mut W,
+    msg: &Msg,
+    ctx: Option<TraceCtx>,
+) -> Result<(), DistError> {
+    let Some(ctx) = ctx else {
+        return write_msg(w, msg);
+    };
+    let mut payload = Vec::new();
+    payload.push(ENVELOPE_MARKER);
+    payload.push(ENVELOPE_VERSION);
+    payload.push(FLAG_CTX);
+    w_u64(&mut payload, (ctx.trace_id >> 64) as u64);
+    w_u64(&mut payload, ctx.trace_id as u64);
+    w_u64(&mut payload, ctx.parent_span);
+    payload.extend_from_slice(&msg.encode());
+    write_payload(w, payload)
+}
+
+fn write_payload<W: Write>(w: &mut W, payload: Vec<u8>) -> Result<(), DistError> {
     let len = u32::try_from(payload.len()).map_err(|_| DistError::FrameTooLarge {
         len: payload.len() as u64,
         max: u32::MAX as u64,
@@ -327,10 +519,10 @@ pub fn write_msg<W: Write>(w: &mut W, msg: &Msg) -> Result<(), DistError> {
     Ok(())
 }
 
-/// Read one framed message, rejecting length prefixes above `max_frame`
-/// before any allocation. `Ok(None)` means the peer closed the stream
-/// cleanly at a frame boundary.
-pub fn read_msg<R: Read>(r: &mut R, max_frame: u32) -> Result<Option<Msg>, DistError> {
+/// Read one frame's payload bytes, rejecting length prefixes above
+/// `max_frame` before any allocation. `Ok(None)` means the peer closed
+/// the stream cleanly at a frame boundary.
+fn read_payload<R: Read>(r: &mut R, max_frame: u32) -> Result<Option<Vec<u8>>, DistError> {
     let mut len_buf = [0u8; 4];
     match r.read_exact(&mut len_buf) {
         Ok(()) => {}
@@ -355,7 +547,24 @@ pub fn read_msg<R: Read>(r: &mut R, max_frame: u32) -> Result<Option<Msg>, DistE
         payload.extend_from_slice(&chunk[..take]);
         remaining -= take;
     }
-    Msg::decode(&payload).map(Some)
+    Ok(Some(payload))
+}
+
+/// Read one framed message, discarding any envelope extras. Accepts both
+/// envelope versions; `Ok(None)` means clean peer close.
+pub fn read_msg<R: Read>(r: &mut R, max_frame: u32) -> Result<Option<Msg>, DistError> {
+    match read_payload(r, max_frame)? {
+        Some(payload) => Frame::decode(&payload).map(|f| Some(f.msg)),
+        None => Ok(None),
+    }
+}
+
+/// Read one framed message with its envelope extras intact.
+pub fn read_frame<R: Read>(r: &mut R, max_frame: u32) -> Result<Option<Frame>, DistError> {
+    match read_payload(r, max_frame)? {
+        Some(payload) => Frame::decode(&payload).map(Some),
+        None => Ok(None),
+    }
 }
 
 /// Granularity of incremental payload reads (and the upfront capacity
@@ -374,6 +583,17 @@ pub fn read_msg_cancellable<R: Read>(
     max_frame: u32,
     cancelled: &dyn Fn() -> bool,
 ) -> Result<Option<Msg>, DistError> {
+    Ok(read_frame_cancellable(r, max_frame, cancelled)?.map(|f| f.msg))
+}
+
+/// [`read_frame`] with the retry/cancellation behaviour of
+/// [`read_msg_cancellable`] — the worker connection loop uses this to
+/// receive envelopes (trace context) without losing shutdown polling.
+pub fn read_frame_cancellable<R: Read>(
+    r: &mut R,
+    max_frame: u32,
+    cancelled: &dyn Fn() -> bool,
+) -> Result<Option<Frame>, DistError> {
     fn fill<R: Read>(
         r: &mut R,
         buf: &mut [u8],
@@ -431,7 +651,7 @@ pub fn read_msg_cancellable<R: Read>(
         payload.extend_from_slice(&chunk[..take]);
         remaining -= take;
     }
-    Msg::decode(&payload).map(Some)
+    Frame::decode(&payload).map(Some)
 }
 
 #[cfg(test)]
@@ -470,6 +690,115 @@ mod tests {
         roundtrip(Msg::Shutdown);
         roundtrip(Msg::ShutdownAck);
         roundtrip(Msg::Error { message: "nope".into() });
+        roundtrip(Msg::Stats);
+        roundtrip(Msg::StatsReply { prom: "# TYPE x counter\nx 1\n".into() });
+    }
+
+    fn span(trace: u128, id: u64, parent: u64) -> SpanRecord {
+        SpanRecord {
+            trace_id: trace,
+            span_id: id,
+            parent_span: parent,
+            name: "worker.serve".into(),
+            proc: "worker-1".into(),
+            start_unix_us: 1_700_000_000_000_000,
+            dur_us: 1234,
+        }
+    }
+
+    #[test]
+    fn envelope_round_trips_ctx_and_spans() {
+        let trace = (7u128 << 64) | 9;
+        for frame in [
+            Frame {
+                msg: Msg::Ping,
+                ctx: Some(TraceCtx { trace_id: trace, parent_span: 42 }),
+                spans: Vec::new(),
+            },
+            Frame {
+                msg: Msg::EstimateReply { results: vec![Ok(0.25)] },
+                ctx: None,
+                spans: vec![span(trace, 1, 0), span(trace, 2, 1)],
+            },
+            Frame {
+                msg: Msg::EstimateBatch {
+                    table: "t".into(),
+                    queries: vec![RangeQuery::unconstrained(2)],
+                },
+                ctx: Some(TraceCtx { trace_id: u128::MAX, parent_span: u64::MAX }),
+                spans: vec![span(u128::MAX, 3, 2)],
+            },
+        ] {
+            let mut wire = Vec::new();
+            write_frame(&mut wire, &frame).unwrap();
+            let got = read_frame(&mut wire.as_slice(), MAX_FRAME).unwrap().unwrap();
+            assert_eq!(got, frame);
+            // legacy readers still get the message, extras dropped
+            let msg = read_msg(&mut wire.as_slice(), MAX_FRAME).unwrap().unwrap();
+            assert_eq!(msg, frame.msg);
+        }
+    }
+
+    #[test]
+    fn bare_frames_stay_v1_byte_identical() {
+        // no ctx, no spans → the payload must be exactly Msg::encode, so a
+        // tracing-off v2 process emits bytes a v1 peer understands
+        let m = Msg::Version { table: "t".into() };
+        assert_eq!(Frame::from(m.clone()).encode(), m.encode());
+    }
+
+    #[test]
+    fn old_version_frames_decode_through_frame() {
+        // a v1 peer's payload (no envelope) decodes as a frame without extras
+        let m =
+            Msg::EstimateBatch { table: "t".into(), queries: vec![RangeQuery::unconstrained(1)] };
+        let frame = Frame::decode(&m.encode()).unwrap();
+        assert_eq!(frame.msg, m);
+        assert_eq!(frame.ctx, None);
+        assert!(frame.spans.is_empty());
+        // and the v1 reader path accepts envelope frames (read_msg above),
+        // while a *future* envelope version is rejected, not misparsed
+        let mut future = Frame {
+            msg: Msg::Ping,
+            ctx: Some(TraceCtx { trace_id: 1, parent_span: 0 }),
+            spans: Vec::new(),
+        }
+        .encode();
+        future[1] = 3; // version bump
+        assert!(Frame::decode(&future).is_err());
+    }
+
+    #[test]
+    fn hostile_envelopes_never_panic() {
+        assert!(Frame::decode(&[ENVELOPE_MARKER]).is_err(), "marker alone");
+        assert!(Frame::decode(&[ENVELOPE_MARKER, ENVELOPE_VERSION]).is_err(), "no flags");
+        assert!(
+            Frame::decode(&[ENVELOPE_MARKER, ENVELOPE_VERSION, 0b1000_0000, 1]).is_err(),
+            "unknown flag bits"
+        );
+        // ctx flag set but body truncated mid-context
+        let mut t = vec![ENVELOPE_MARKER, ENVELOPE_VERSION, 1];
+        t.extend_from_slice(&7u64.to_le_bytes());
+        assert!(Frame::decode(&t).is_err());
+        // span count far beyond the body
+        let mut s = vec![ENVELOPE_MARKER, ENVELOPE_VERSION, 2];
+        s.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(Frame::decode(&s).is_err());
+        // mutated garbage around a valid envelope
+        let good = Frame {
+            msg: Msg::EstimateReply { results: vec![Ok(0.5)] },
+            ctx: Some(TraceCtx { trace_id: 77, parent_span: 3 }),
+            spans: vec![span(77, 9, 3)],
+        }
+        .encode();
+        let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+        for _ in 0..2000 {
+            let mut buf = good.clone();
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let i = (x >> 33) as usize % buf.len();
+            buf[i] ^= (x >> 17) as u8;
+            let _ = Frame::decode(&buf); // must not panic
+        }
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! Prometheus-exposition plumbing for the cluster metrics plane.
+//!
+//! Workers answer [`Msg::Stats`](crate::proto::Msg::Stats) with one text
+//! exposition covering their process-global registry plus every hosted
+//! table's service registry; the coordinator scrapes all workers and
+//! merges the replies into a single cluster exposition. Both sides lean
+//! on two pure helpers here:
+//!
+//! * [`inject_label`] rewrites every sample line to carry an extra label
+//!   (`table="trips"` on the worker, `worker="2"` on the coordinator), so
+//!   merged series from different origins stay distinguishable;
+//! * [`merge_expositions`] concatenates expositions while deduplicating
+//!   repeated `# TYPE`/`# HELP` header lines — Prometheus text format
+//!   allows each header once per exposition, and every worker ships the
+//!   same metric families.
+//!
+//! Both helpers keep line order stable (first occurrence wins), so merged
+//! output is deterministic given deterministic inputs — the registry
+//! renders from a `BTreeMap`, so that holds end to end.
+
+use crate::coordinator::Coordinator;
+use std::collections::HashSet;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Escape a label value per the Prometheus text format (`\`, `"`, `\n`).
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Add `key="value"` to every sample line of a text exposition. Comment
+/// (`#`) and blank lines pass through untouched; sample lines with an
+/// existing label set get the new label prepended inside the braces,
+/// bare-name lines gain a label set.
+pub fn inject_label(exposition: &str, key: &str, value: &str) -> String {
+    let val = escape_label(value);
+    let mut out = String::with_capacity(exposition.len() + 16);
+    for line in exposition.lines() {
+        let trimmed = line.trim_start();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            out.push_str(line);
+        } else if let Some(brace) = line.find('{') {
+            out.push_str(&line[..=brace]);
+            out.push_str(key);
+            out.push_str("=\"");
+            out.push_str(&val);
+            out.push_str("\",");
+            out.push_str(&line[brace + 1..]);
+        } else if let Some(space) = line.find(' ') {
+            out.push_str(&line[..space]);
+            out.push('{');
+            out.push_str(key);
+            out.push_str("=\"");
+            out.push_str(&val);
+            out.push_str("\"}");
+            out.push_str(&line[space..]);
+        } else {
+            // not a sample line; pass through rather than corrupt it
+            out.push_str(line);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Concatenate expositions, keeping only the first occurrence of each
+/// `# TYPE`/`# HELP` header line. Sample lines are never dropped.
+pub fn merge_expositions<S: AsRef<str>>(parts: &[S]) -> String {
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut out = String::new();
+    for part in parts {
+        for line in part.as_ref().lines() {
+            if line.starts_with('#') && !seen.insert(line.to_string()) {
+                continue;
+            }
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// A minimal HTTP scrape endpoint over
+/// [`Coordinator::cluster_prometheus`]: any request gets a `200 text/plain`
+/// response carrying the merged cluster exposition, one request per
+/// connection — enough for `curl`/Prometheus scrapes and the CI check,
+/// with no HTTP machinery beyond a status line.
+pub struct MetricsFrontend {
+    /// The bound address (useful with port 0).
+    pub addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: std::thread::JoinHandle<()>,
+}
+
+impl MetricsFrontend {
+    /// Bind `addr` and serve scrapes until [`MetricsFrontend::stop`].
+    pub fn spawn<A: ToSocketAddrs>(
+        coord: Arc<Coordinator>,
+        addr: A,
+    ) -> io::Result<MetricsFrontend> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new().name("iam-dist-metrics".into()).spawn(move || {
+                while !stop.load(Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            let _ = serve_scrape(stream, &coord);
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })?
+        };
+        Ok(MetricsFrontend { addr, stop, accept_thread })
+    }
+
+    /// Close the listener and join the accept thread.
+    pub fn stop(self) {
+        self.stop.store(true, Relaxed);
+        let _ = self.accept_thread.join();
+    }
+}
+
+fn serve_scrape(stream: std::net::TcpStream, coord: &Coordinator) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    // consume the request line (and nothing more — headers may follow,
+    // but a scrape response does not depend on them)
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let body = coord.cluster_prometheus();
+    let mut out = stream;
+    write!(
+        out,
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    )?;
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inject_label_handles_bare_and_labeled_lines() {
+        let src = "# TYPE a counter\na 3\nb{x=\"1\"} 4\n\n";
+        let got = inject_label(src, "table", "trips");
+        assert_eq!(got, "# TYPE a counter\na{table=\"trips\"} 3\nb{table=\"trips\",x=\"1\"} 4\n\n");
+    }
+
+    #[test]
+    fn inject_label_escapes_values() {
+        let got = inject_label("a 1\n", "t", "he said \"hi\"\\");
+        assert_eq!(got, "a{t=\"he said \\\"hi\\\"\\\\\"} 1\n");
+    }
+
+    #[test]
+    fn merge_dedupes_type_headers_first_wins() {
+        let w0 = "# TYPE a counter\na{worker=\"0\"} 1\n";
+        let w1 = "# TYPE a counter\na{worker=\"1\"} 2\n# TYPE b gauge\nb{worker=\"1\"} 5\n";
+        let merged = merge_expositions(&[w0, w1]);
+        assert_eq!(merged.matches("# TYPE a counter").count(), 1);
+        assert_eq!(merged.matches("# TYPE b gauge").count(), 1);
+        assert!(merged.contains("a{worker=\"0\"} 1"));
+        assert!(merged.contains("a{worker=\"1\"} 2"));
+        // order: first exposition's lines come first
+        assert!(merged.find("a{worker=\"0\"}").unwrap() < merged.find("a{worker=\"1\"}").unwrap());
+    }
+
+    #[test]
+    fn merge_is_deterministic() {
+        let parts = ["# TYPE x counter\nx 1\n", "# TYPE x counter\nx 2\n"];
+        assert_eq!(merge_expositions(&parts), merge_expositions(&parts));
+    }
+}

@@ -18,7 +18,9 @@
 //! resynchronise mid-frame.
 
 use crate::error::DistError;
-use crate::proto::{read_msg_cancellable, write_msg, Msg, MAX_SNAPSHOT_FRAME};
+use crate::proto::{
+    read_frame_cancellable, write_frame, write_msg, Frame, Msg, MAX_SNAPSHOT_FRAME,
+};
 use iam_core::IamEstimator;
 use iam_obs::Registry;
 use iam_serve::{ServeConfig, Service};
@@ -119,16 +121,37 @@ impl WorkerState {
                     .collect();
                 Some(Msg::EstimateReply { results })
             }
+            Msg::Stats => Some(Msg::StatsReply { prom: self.exposition() }),
             // reply-direction messages are meaningless as requests
             Msg::Pong
             | Msg::LoadAck { .. }
             | Msg::EstimateReply { .. }
             | Msg::VersionReply { .. }
             | Msg::ShutdownAck
+            | Msg::StatsReply { .. }
             | Msg::Error { .. } => {
                 Some(Msg::Error { message: "unexpected reply-direction message".into() })
             }
         }
+    }
+
+    /// This worker's whole metrics plane as one Prometheus exposition:
+    /// every hosted table's service registry under a `table` label, then
+    /// the process-global registry once. `# TYPE` headers repeated across
+    /// tables are deduplicated; table order is sorted, so the output is
+    /// deterministic.
+    fn exposition(&self) -> String {
+        let tables = self.lock_tables();
+        let mut names: Vec<&String> = tables.keys().collect();
+        names.sort();
+        let mut parts: Vec<String> = names
+            .iter()
+            .map(|name| {
+                crate::stats::inject_label(&tables[*name].metrics_prometheus_local(), "table", name)
+            })
+            .collect();
+        parts.push(Registry::global().render_prometheus());
+        crate::stats::merge_expositions(&parts)
     }
 
     fn lock_tables(&self) -> std::sync::MutexGuard<'_, HashMap<String, Service>> {
@@ -263,27 +286,41 @@ fn handle_connection(
     let mut reader = stream.try_clone()?;
     let mut out = BufWriter::new(stream);
     loop {
-        let msg =
-            match read_msg_cancellable(&mut reader, state.cfg.max_frame, &|| stop.load(Relaxed)) {
-                Ok(Some(m)) => m,
-                Ok(None) => return Ok(()), // peer closed, or we are stopping
-                Err(e @ (DistError::FrameTooLarge { .. } | DistError::Io(_))) => {
-                    // framing is unrecoverable: report (best effort) and close
-                    state.proto_errors.inc();
-                    let _ = write_msg(&mut out, &Msg::Error { message: e.to_string() });
-                    return Err(e);
-                }
-                Err(e) => {
-                    // the frame boundary held; the *message* was garbage —
-                    // reply and keep serving this connection
-                    state.proto_errors.inc();
-                    write_msg(&mut out, &Msg::Error { message: e.to_string() })?;
-                    continue;
-                }
-            };
-        let stopping = matches!(msg, Msg::Shutdown);
-        if let Some(reply) = state.handle(msg) {
-            write_msg(&mut out, &reply)?;
+        let frame = match read_frame_cancellable(&mut reader, state.cfg.max_frame, &|| {
+            stop.load(Relaxed)
+        }) {
+            Ok(Some(f)) => f,
+            Ok(None) => return Ok(()), // peer closed, or we are stopping
+            Err(e @ (DistError::FrameTooLarge { .. } | DistError::Io(_))) => {
+                // framing is unrecoverable: report (best effort) and close
+                state.proto_errors.inc();
+                let _ = write_msg(&mut out, &Msg::Error { message: e.to_string() });
+                return Err(e);
+            }
+            Err(e) => {
+                // the frame boundary held; the *message* was garbage —
+                // reply and keep serving this connection
+                state.proto_errors.inc();
+                write_msg(&mut out, &Msg::Error { message: e.to_string() })?;
+                continue;
+            }
+        };
+        let stopping = matches!(frame.msg, Msg::Shutdown);
+        // an incoming trace context (envelope v2) scopes this request's
+        // spans; both guards must drop before the drain so the records are
+        // in the buffer when we pick them up for piggybacking
+        let ctx = frame.ctx.filter(|_| iam_obs::tracetree::enabled());
+        let reply = {
+            let _ctx = ctx.map(iam_obs::tracetree::install);
+            let _span = iam_obs::span!("worker.serve");
+            state.handle(frame.msg)
+        };
+        let spans = match ctx {
+            Some(c) => iam_obs::tracetree::drain_trace(c.trace_id),
+            None => Vec::new(),
+        };
+        if let Some(reply) = reply {
+            write_frame(&mut out, &Frame { msg: reply, ctx: None, spans })?;
         }
         if stopping {
             return Ok(());

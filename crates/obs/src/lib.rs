@@ -21,16 +21,33 @@
 //!   stats, registry snapshots. A no-op (one atomic load) until a sink is
 //!   installed.
 //!
+//! Two cluster-facing layers build on those:
+//!
+//! * [`tracetree`] — distributed trace trees: a [`TraceCtx`] (128-bit
+//!   trace id + parent span id) installed per thread makes every `span!`
+//!   guard additionally record a [`SpanRecord`] with explicit parent
+//!   links, so span trees from coordinator, workers and serve processes
+//!   stitch into one tree ([`tracetree::TraceTree`], JSONL + folded
+//!   stacks). Ids are SplitMix64-seeded — deterministic, no ambient
+//!   entropy.
+//! * [`qerror`] — served-accuracy tracking: reservoir-sampled estimate
+//!   records resolved against later truth reports into q-error histograms
+//!   and per-column error gauges, all landing in an ordinary [`Registry`].
+//!
 //! The probes wired through `iam-core` and `iam-serve` all funnel into
 //! these three; see the README's "Observability" section for how to scrape
 //! and read them.
 
 #![deny(missing_docs)]
 
+pub mod qerror;
 pub mod registry;
 pub mod span;
 pub mod trace;
+pub mod tracetree;
 
+pub use qerror::{QErrorTracker, QRecord};
 pub use registry::{fmt_bound, Counter, FloatGauge, Gauge, Histogram, HistogramSnapshot, Registry};
 pub use span::{SpanAgg, SpanGuard};
 pub use trace::{SharedBuf, Value};
+pub use tracetree::{SpanRecord, TraceCtx, TraceIdGen};

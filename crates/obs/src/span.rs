@@ -50,10 +50,20 @@ pub struct SpanAgg {
     pub self_us: u64,
 }
 
+/// Per-frame trace-tree identity, present only while distributed tracing
+/// is armed (see [`crate::tracetree`]).
+struct TreeFrame {
+    trace_id: u128,
+    span_id: u64,
+    parent_span: u64,
+    start_unix_us: u64,
+}
+
 struct Frame {
     name: &'static str,
     start: Instant,
     child_us: u64,
+    tree: Option<TreeFrame>,
 }
 
 thread_local! {
@@ -79,9 +89,37 @@ impl SpanGuard {
         if !enabled() {
             return None;
         }
-        STACK.with(|s| s.borrow_mut().push(Frame { name, start: Instant::now(), child_us: 0 }));
+        // distributed tracing rides on the same guards: when tree recording
+        // is armed on this thread, the frame additionally carries a span id
+        // parented under the innermost open tree span (or the installed
+        // context's parent for the outermost frame)
+        let tree_ctx = if crate::tracetree::enabled() { crate::tracetree::current() } else { None };
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let tree = tree_ctx.map(|ctx| {
+                let parent = stack
+                    .iter()
+                    .rev()
+                    .find_map(|f| f.tree.as_ref().map(|t| t.span_id))
+                    .unwrap_or(ctx.parent_span);
+                TreeFrame {
+                    trace_id: ctx.trace_id,
+                    span_id: crate::tracetree::alloc_span_id(ctx.trace_id),
+                    parent_span: parent,
+                    start_unix_us: crate::tracetree::unix_us_now(),
+                }
+            });
+            stack.push(Frame { name, start: Instant::now(), child_us: 0, tree });
+        });
         Some(SpanGuard { name })
     }
+}
+
+/// The innermost open span's tree id on this thread, if distributed
+/// tracing recorded one — what [`crate::tracetree::child_ctx`] parents
+/// cross-boundary children under.
+pub(crate) fn active_tree_span() -> Option<u64> {
+    STACK.with(|s| s.borrow().iter().rev().find_map(|f| f.tree.as_ref().map(|t| t.span_id)))
 }
 
 impl Drop for SpanGuard {
@@ -119,6 +157,18 @@ impl Drop for SpanGuard {
             let labels = [("span", frame.name)];
             Registry::global().counter("iam_span_us_total", &labels).add(elapsed_us);
             Registry::global().counter("iam_span_calls_total", &labels).inc();
+
+            if let Some(t) = frame.tree {
+                crate::tracetree::record(crate::tracetree::SpanRecord {
+                    trace_id: t.trace_id,
+                    span_id: t.span_id,
+                    parent_span: t.parent_span,
+                    name: frame.name.to_string(),
+                    proc: crate::tracetree::process_label(),
+                    start_unix_us: t.start_unix_us,
+                    dur_us: elapsed_us,
+                });
+            }
         });
     }
 }

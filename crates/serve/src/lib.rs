@@ -40,6 +40,6 @@ pub mod service;
 pub use cache::QueryCache;
 pub use error::ServeError;
 pub use metrics::{Metrics, MetricsSnapshot};
-pub use net::{parse_query, TcpFrontend, MAX_LINE_BYTES};
+pub use net::{parse_query, render_query, TcpFrontend, MAX_LINE_BYTES};
 pub use registry::{ModelRegistry, ModelVersion};
 pub use service::{Client, ServeConfig, Service};

@@ -149,6 +149,21 @@ impl Metrics {
         cache_misses: u64,
         lock_recoveries: u64,
     ) -> String {
+        let mut out = self.render_prometheus_local(cache_hits, cache_misses, lock_recoveries);
+        out.push_str(&Registry::global().render_prometheus());
+        out
+    }
+
+    /// Like [`Metrics::render_prometheus`] but without the process-global
+    /// registry appended — for aggregators (the cluster worker) that merge
+    /// several services into one exposition and must not repeat the global
+    /// section per service.
+    pub fn render_prometheus_local(
+        &self,
+        cache_hits: u64,
+        cache_misses: u64,
+        lock_recoveries: u64,
+    ) -> String {
         let mut out = self.registry.render_prometheus();
         out.push_str("# TYPE iam_serve_cache_hits_total counter\n");
         out.push_str(&format!("iam_serve_cache_hits_total {cache_hits}\n"));
@@ -156,7 +171,6 @@ impl Metrics {
         out.push_str(&format!("iam_serve_cache_misses_total {cache_misses}\n"));
         out.push_str("# TYPE iam_serve_lock_recoveries_total counter\n");
         out.push_str(&format!("iam_serve_lock_recoveries_total {lock_recoveries}\n"));
-        out.push_str(&Registry::global().render_prometheus());
         out
     }
 
@@ -184,6 +198,12 @@ impl Metrics {
             mean_batch: bat.mean(),
             max_batch: bat.max,
             batch_buckets: bat.bounds.iter().zip(&bat.counts).map(|(&b, &c)| (b, c)).collect(),
+            qerror_reports: 0,
+            qerror_unmatched: 0,
+            qerror_p50_milli: 0,
+            qerror_p95_milli: 0,
+            qerror_p99_milli: 0,
+            qerror_buckets: Vec::new(),
         }
     }
 }
@@ -232,6 +252,19 @@ pub struct MetricsSnapshot {
     /// `(upper_bound, count)` per batch-size bucket; the last bound is
     /// `u64::MAX` (catch-all).
     pub batch_buckets: Vec<(u64, u64)>,
+    /// Truth reports resolved against the q-error reservoir.
+    pub qerror_reports: u64,
+    /// Truth reports whose qid had no sampled record.
+    pub qerror_unmatched: u64,
+    /// Q-error 50th percentile (milli-q bucket upper bound; 1000 = 1.0×).
+    pub qerror_p50_milli: u64,
+    /// Q-error 95th percentile (milli-q).
+    pub qerror_p95_milli: u64,
+    /// Q-error 99th percentile (milli-q).
+    pub qerror_p99_milli: u64,
+    /// `(upper_bound, count)` per q-error bucket (milli-q); the last bound
+    /// is `u64::MAX` (catch-all).
+    pub qerror_buckets: Vec<(u64, u64)>,
 }
 
 impl MetricsSnapshot {
@@ -274,11 +307,30 @@ impl MetricsSnapshot {
         line("latency_us_max", self.latency_max_us.to_string());
         line("batch_size_mean", format!("{:.2}", self.mean_batch));
         line("batch_size_max", self.max_batch.to_string());
-        for &(bound, count) in &self.batch_buckets {
+        // bucket keys are sorted by bound before emit so this view, the
+        // Prometheus exposition, and the JSONL snapshot all agree on
+        // ordering — cross-exposition consistency asserts depend on it
+        let mut batch_buckets = self.batch_buckets.clone();
+        batch_buckets.sort_by_key(|&(bound, _)| bound);
+        for (bound, count) in batch_buckets {
             if bound == u64::MAX {
                 line("batch_size_bucket_inf", count.to_string());
             } else {
                 line(&format!("batch_size_bucket_le_{bound}"), count.to_string());
+            }
+        }
+        line("qerror_reports", self.qerror_reports.to_string());
+        line("qerror_unmatched", self.qerror_unmatched.to_string());
+        line("qerror_milli_p50", self.qerror_p50_milli.to_string());
+        line("qerror_milli_p95", self.qerror_p95_milli.to_string());
+        line("qerror_milli_p99", self.qerror_p99_milli.to_string());
+        let mut qerror_buckets = self.qerror_buckets.clone();
+        qerror_buckets.sort_by_key(|&(bound, _)| bound);
+        for (bound, count) in qerror_buckets {
+            if bound == u64::MAX {
+                line("qerror_milli_bucket_inf", count.to_string());
+            } else {
+                line(&format!("qerror_milli_bucket_le_{bound}"), count.to_string());
             }
         }
         s

@@ -18,6 +18,10 @@
 //! ← iam_serve_requests_total 42
 //! ← …
 //! ← END
+//! → TRACKED 0=3 1=2.5..9.0    # estimate + canonical query id (for REPORT)
+//! ← 9577216733948907093 0.127341
+//! → REPORT 9577216733948907093 1250   # true count observed by the client
+//! ← OK 1.373200                       # resolved q-error
 //! → QUIT                      # close the connection
 //! ```
 //!
@@ -25,6 +29,14 @@
 //! constraint) or `col=lo..hi` (closed range; either bound may be `*` for
 //! unbounded). Repeated terms for one column intersect. Malformed lines get
 //! `ERR <reason>` and the connection stays open.
+//!
+//! `TRACKED`/`REPORT` form the accuracy feedback loop: `TRACKED` answers
+//! like a query line but prefixes the reply with the query's canonical id
+//! (the same [`RangeQuery::canonical_key`] the cache and the sampler use),
+//! and `REPORT <qid> <true_count>` resolves that id's sampled record into
+//! a q-error observation (see `iam_obs::qerror`). A `REPORT` whose qid was
+//! never sampled — tracking disabled, record evicted, or a bogus id —
+//! answers `ERR no record for qid`, counted but never fatal.
 
 use crate::error::ServeError;
 use crate::service::Client;
@@ -86,6 +98,37 @@ pub fn parse_query(line: &str, ncols: usize) -> Result<RangeQuery, ServeError> {
         return Err(bad("empty query".into()));
     }
     Ok(rq)
+}
+
+/// Render a query back into the line-protocol grammar, constrained columns
+/// in index order — the canonical predicate text stored in q-error
+/// records. Infinite bounds render as `*`; an unconstrained query renders
+/// as `*` alone. (Strictness flags, which the text grammar cannot express,
+/// are carried by the canonical key, not the text.)
+pub fn render_query(rq: &RangeQuery) -> String {
+    let mut out = String::new();
+    let fmt_bound = |v: f64| {
+        if v.is_infinite() {
+            "*".to_string()
+        } else {
+            format!("{v}")
+        }
+    };
+    for (col, iv) in rq.cols.iter().enumerate() {
+        let Some(iv) = iv else { continue };
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        if iv.lo == iv.hi {
+            out.push_str(&format!("{col}={}", fmt_bound(iv.lo)));
+        } else {
+            out.push_str(&format!("{col}={}..{}", fmt_bound(iv.lo), fmt_bound(iv.hi)));
+        }
+    }
+    if out.is_empty() {
+        out.push('*');
+    }
+    out
 }
 
 /// A running TCP front-end. [`TcpFrontend::stop`] closes the listener
@@ -218,6 +261,32 @@ fn handle_connection(stream: TcpStream, client: &Client, stop: &AtomicBool) -> i
                 let (id, label) = client.current_version();
                 writeln!(out, "{id} {label}")?;
             }
+            cmd if cmd.starts_with("TRACKED ") || cmd == "TRACKED" => {
+                let query = cmd.strip_prefix("TRACKED").unwrap_or("").trim();
+                match parse_query(query, client.ncols()) {
+                    Ok(rq) => match client.estimate(&rq) {
+                        Ok(sel) => writeln!(out, "{} {sel:.6}", rq.canonical_key())?,
+                        Err(e) => writeln!(out, "ERR {e}")?,
+                    },
+                    Err(e) => writeln!(out, "ERR {e}")?,
+                }
+            }
+            cmd if cmd.starts_with("REPORT ") => {
+                let mut parts = cmd["REPORT ".len()..].split_whitespace();
+                let parsed = match (parts.next(), parts.next(), parts.next()) {
+                    (Some(qid), Some(count), None) => {
+                        qid.parse::<u64>().ok().zip(count.parse::<u64>().ok())
+                    }
+                    _ => None,
+                };
+                match parsed {
+                    Some((qid, true_count)) => match client.report_true_count(qid, true_count) {
+                        Some(q) => writeln!(out, "OK {q:.6}")?,
+                        None => writeln!(out, "ERR no record for qid")?,
+                    },
+                    None => writeln!(out, "ERR usage: REPORT <qid> <true_count>")?,
+                }
+            }
             query => match parse_query(query, client.ncols()).and_then(|rq| client.estimate(&rq)) {
                 Ok(sel) => writeln!(out, "{sel:.6}")?,
                 Err(e) => writeln!(out, "ERR {e}")?,
@@ -262,6 +331,17 @@ mod tests {
         for bad in ["nonsense", "0:3", "x=1", "0=a..b", "5=1..2", "", "0=*"] {
             assert!(parse_query(bad, 2).is_err(), "{bad:?} should be rejected");
         }
+    }
+
+    #[test]
+    fn render_query_round_trips_through_parse() {
+        for line in ["0=3 1=2.5..9", "1=*..0.5", "0=-2..*", "0=1.25"] {
+            let rq = parse_query(line, 3).unwrap();
+            let rendered = render_query(&rq);
+            let back = parse_query(&rendered, 3).unwrap();
+            assert_eq!(back.canonical_key(), rq.canonical_key(), "{line} → {rendered}");
+        }
+        assert_eq!(render_query(&RangeQuery::unconstrained(2)), "*");
     }
 
     #[test]

@@ -61,6 +61,12 @@ pub struct ServeConfig {
     pub cache_shards: usize,
     /// Default per-request timeout for [`Client::estimate`].
     pub request_timeout: Duration,
+    /// Q-error reservoir capacity: how many estimate records are retained
+    /// for later `REPORT` truth resolution. `0` (the default) disables
+    /// accuracy tracking entirely.
+    pub qerror_capacity: usize,
+    /// Seed driving the q-error reservoir's deterministic eviction.
+    pub qerror_seed: u64,
 }
 
 impl Default for ServeConfig {
@@ -74,6 +80,8 @@ impl Default for ServeConfig {
             cache_capacity: 4096,
             cache_shards: 8,
             request_timeout: Duration::from_secs(5),
+            qerror_capacity: 0,
+            qerror_seed: 0xA11E_57E0,
         }
     }
 }
@@ -84,6 +92,9 @@ struct Request {
     key: u64,
     enqueued: Instant,
     deadline: Instant,
+    /// Trace context captured at submission, so the batch worker's spans
+    /// join the submitting request's distributed trace tree.
+    ctx: Option<iam_obs::TraceCtx>,
     reply: SyncSender<Result<f64, ServeError>>,
 }
 
@@ -93,6 +104,7 @@ struct ServiceInner {
     registry: ModelRegistry,
     cache: QueryCache,
     metrics: Metrics,
+    qerror: iam_obs::QErrorTracker,
     tx: SyncSender<Request>,
     rx: Mutex<Receiver<Request>>,
     shutdown: AtomicBool,
@@ -104,15 +116,28 @@ impl ServiceInner {
         self.cache.recoveries() + self.registry.recoveries()
     }
 
-    /// Metrics snapshot with the cache's hit/miss accounting and the
-    /// lock-recovery count merged in.
+    /// Metrics snapshot with the cache's hit/miss accounting, the
+    /// lock-recovery count, and the q-error view merged in.
     fn snapshot(&self) -> MetricsSnapshot {
         let mut s = self.metrics.snapshot();
         let (hits, misses) = self.cache.stats();
         s.cache_hits = hits;
         s.cache_misses = misses;
         s.lock_recoveries = self.lock_recoveries();
+        let (_, reports, unmatched) = self.qerror.counts();
+        s.qerror_reports = reports;
+        s.qerror_unmatched = unmatched;
+        let h = self.qerror.histogram_snapshot();
+        s.qerror_p50_milli = h.quantile(0.50);
+        s.qerror_p95_milli = h.quantile(0.95);
+        s.qerror_p99_milli = h.quantile(0.99);
+        s.qerror_buckets = h.bounds.iter().zip(&h.counts).map(|(&b, &c)| (b, c)).collect();
         s
+    }
+
+    /// Resolve a truth report against the q-error reservoir.
+    fn report_true_count(&self, qid: u64, true_count: u64) -> Option<f64> {
+        self.qerror.report(self.metrics.registry(), qid, true_count)
     }
 
     /// Prometheus exposition: service registry + cache accounting + the
@@ -120,6 +145,13 @@ impl ServiceInner {
     fn prometheus(&self) -> String {
         let (hits, misses) = self.cache.stats();
         self.metrics.render_prometheus(hits, misses, self.lock_recoveries())
+    }
+
+    /// Exposition without the process-global registry — for aggregators
+    /// that merge several services and append the global section once.
+    fn prometheus_local(&self) -> String {
+        let (hits, misses) = self.cache.stats();
+        self.metrics.render_prometheus_local(hits, misses, self.lock_recoveries())
     }
 }
 
@@ -135,10 +167,14 @@ impl Service {
     /// Start a service over `model` (registered as version 1).
     pub fn start(model: IamEstimator, label: &str, cfg: ServeConfig) -> Service {
         let (tx, rx) = sync_channel::<Request>(cfg.queue_depth.max(1));
+        let metrics = Metrics::new();
+        let qerror =
+            iam_obs::QErrorTracker::new(cfg.qerror_capacity, cfg.qerror_seed, metrics.registry());
         let inner = Arc::new(ServiceInner {
             registry: ModelRegistry::new(model, label),
             cache: QueryCache::new(cfg.cache_capacity, cfg.cache_shards),
-            metrics: Metrics::new(),
+            metrics,
+            qerror,
             tx,
             rx: Mutex::new(rx),
             shutdown: AtomicBool::new(false),
@@ -225,6 +261,27 @@ impl Service {
         self.inner.prometheus()
     }
 
+    /// Exposition of this service's own registry and cache accounting
+    /// only, with no process-global section — cluster workers merge one of
+    /// these per table under a `table` label and append the global
+    /// registry once.
+    pub fn metrics_prometheus_local(&self) -> String {
+        self.inner.prometheus_local()
+    }
+
+    /// Resolve a reported true count against the q-error reservoir (see
+    /// [`iam_obs::QErrorTracker::report`]). Returns the q-error when the
+    /// qid's record was sampled, `None` otherwise (or when tracking is
+    /// disabled).
+    pub fn report_true_count(&self, qid: u64, true_count: u64) -> Option<f64> {
+        self.inner.report_true_count(qid, true_count)
+    }
+
+    /// The q-error reservoir's current records, sorted by qid.
+    pub fn qerror_records(&self) -> Vec<iam_obs::QRecord> {
+        self.inner.qerror.records()
+    }
+
     /// Stop accepting requests, drain everything already queued, join the
     /// workers, and return the final metrics.
     pub fn shutdown(mut self) -> MetricsSnapshot {
@@ -276,6 +333,10 @@ impl Client {
         let inner = &*self.inner;
         let start = Instant::now();
         let deadline = start + timeout;
+        // captured once per call: the submitting thread's trace context,
+        // re-parented under its innermost open span, rides along with every
+        // request so the batch worker's spans land in the same tree
+        let ctx = iam_obs::tracetree::child_ctx();
         let mut out: Vec<Option<Result<f64, ServeError>>> = vec![None; queries.len()];
         let mut pending: Vec<(usize, Receiver<Result<f64, ServeError>>)> = Vec::new();
         for (i, q) in queries.iter().enumerate() {
@@ -301,7 +362,8 @@ impl Client {
                 continue;
             }
             let (reply_tx, reply_rx) = sync_channel(1);
-            let req = Request { query: q.clone(), key, enqueued: start, deadline, reply: reply_tx };
+            let req =
+                Request { query: q.clone(), key, enqueued: start, deadline, ctx, reply: reply_tx };
             match inner.tx.try_send(req) {
                 Ok(()) => {
                     inner.metrics.enqueued();
@@ -351,6 +413,17 @@ impl Client {
     /// process-global training/inference probes).
     pub fn metrics_prometheus(&self) -> String {
         self.inner.prometheus()
+    }
+
+    /// Resolve a reported true count against the q-error reservoir; the
+    /// `REPORT` line-protocol command lands here.
+    pub fn report_true_count(&self, qid: u64, true_count: u64) -> Option<f64> {
+        self.inner.report_true_count(qid, true_count)
+    }
+
+    /// The q-error reservoir's current records, sorted by qid.
+    pub fn qerror_records(&self) -> Vec<iam_obs::QRecord> {
+        self.inner.qerror.records()
     }
 }
 
@@ -459,19 +532,49 @@ fn process_batch(inner: &ServiceInner, batch: &mut Vec<Request>, scratch: &mut B
         return;
     }
 
-    // deduplicate: identical canonical keys share one model evaluation
-    // (and, by the seeding invariant, would produce identical results
-    // anyway — this just avoids paying for them twice)
-    for req in live.iter() {
-        let slot = *slot_of.entry(req.key).or_insert_with(|| {
-            queries.push(req.query.clone());
-            queries.len() - 1
-        });
-        slots.push(slot);
-    }
+    // the traced section: dedupe + inference under a `serve.batch` span,
+    // inside the first traced request's context. The scope closes BEFORE
+    // replies go out, so when a client (or the dist worker piggybacking
+    // span buffers onto its reply) sees an answer, the batch's span
+    // records are already in the trace buffer.
+    let estimates = {
+        let _ctx = live.iter().find_map(|r| r.ctx).map(iam_obs::tracetree::install);
+        let _span = iam_obs::span!("serve.batch");
 
-    let estimates = version.model.estimate_batch_shared(queries, inner.cfg.inner_threads);
+        // deduplicate: identical canonical keys share one model evaluation
+        // (and, by the seeding invariant, would produce identical results
+        // anyway — this just avoids paying for them twice)
+        for req in live.iter() {
+            let slot = *slot_of.entry(req.key).or_insert_with(|| {
+                queries.push(req.query.clone());
+                queries.len() - 1
+            });
+            slots.push(slot);
+        }
+
+        version.model.estimate_batch_shared(queries, inner.cfg.inner_threads)
+    };
     inner.metrics.batch(live.len(), queries.len());
+
+    // sample accuracy records before any reply leaves: a client that
+    // learns its qid from the reply must be able to REPORT immediately
+    if inner.qerror.enabled() {
+        let nrows = version.model.nrows() as u64;
+        for (req, &slot) in live.iter().zip(slots.iter()) {
+            inner.qerror.record(iam_obs::QRecord {
+                qid: req.key,
+                predicate: crate::net::render_query(&req.query),
+                cols: (0..req.query.cols.len())
+                    .filter(|&i| req.query.cols[i].is_some())
+                    .map(|i| i.to_string())
+                    .collect(),
+                estimate: estimates[slot],
+                nrows,
+                model_version: version.id,
+                latency_us: req.enqueued.elapsed().as_micros().min(u64::MAX as u128) as u64,
+            });
+        }
+    }
 
     for (req, &slot) in live.iter().zip(slots.iter()) {
         let value = estimates[slot];
