@@ -1,11 +1,14 @@
 //! Deterministic, seeded, structure-aware mutational fuzzing for the
-//! workspace's three untrusted-byte surfaces:
+//! workspace's four untrusted-byte surfaces:
 //!
 //! * `proto`   — `iam_dist::proto` frame + message decoding
 //! * `persist` — `IamEstimator::load_framed` snapshot parsing (and, on
 //!   parses that succeed, estimation — which exercises the debug
 //!   invariant layer on hostile-but-checksummed models)
 //! * `line`    — `iam_serve::net::parse_query` line protocol
+//! * `sql`     — `iam_sql::parse` statement parsing (and, on parses that
+//!   succeed, the Display round trip: canonical text must re-parse and
+//!   re-render to a fixpoint)
 //!
 //! No external fuzzing engine and no nightly: inputs come from a
 //! [`SplitMix64`] stream, so a run is exactly reproducible from
@@ -68,7 +71,7 @@ pub struct Crash {
 /// Result of fuzzing one target.
 #[derive(Debug)]
 pub struct FuzzReport {
-    /// Target name (`proto` / `persist` / `line`).
+    /// Target name (`proto` / `persist` / `line` / `sql`).
     pub target: String,
     /// Iterations executed.
     pub iters: u64,
@@ -384,6 +387,54 @@ fn fuzz_line(seed: u64, iters: u64) -> FuzzReport {
     FuzzReport { target: "line".into(), iters, crashes }
 }
 
+// --- sql target ------------------------------------------------------------
+
+fn fuzz_sql(seed: u64, iters: u64) -> FuzzReport {
+    const TEMPLATES: &[&str] = &[
+        "SELECT COUNT(*) FROM twi WHERE c0 = 1 AND c1 BETWEEN 2.5 AND 9",
+        "SELECT SUM(c1) FROM twi WHERE c0 >= 0 AND c1 < 1e300",
+        "SELECT AVG(c2) FROM t WHERE c2 BETWEEN -1.5 AND 4.25;",
+        "EXPLAIN SELECT COUNT(*) FROM a JOIN b ON a.c0 = b.c0 JOIN c ON b.c1 = c.c1 \
+         WHERE a.c0 <= 1 AND b.c1 > 0",
+        "select count ( * ) from x where c0 between .5 and 1e-300",
+        "SELECT COUNT(*) FROM t",
+    ];
+    let mut rng = SplitMix64::new(seed);
+    let mut crashes = Vec::new();
+    for i in 0..iters {
+        let input: Vec<u8> = if rng.below(3) == 0 {
+            let len = rng.below(160) as usize;
+            rng.bytes(len)
+        } else {
+            let mut b = TEMPLATES[rng.below(TEMPLATES.len() as u64) as usize].as_bytes().to_vec();
+            mutate(&mut rng, &mut b);
+            b
+        };
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            let text = String::from_utf8_lossy(&input);
+            if let Ok(stmt) = iam_sql::parse(&text) {
+                // whatever survives the parser must round-trip through its
+                // canonical rendering — this is what the coordinator
+                // forwards to workers, so non-re-parseable output would be
+                // a cluster-visible bug, not a cosmetic one
+                let rendered = stmt.to_string();
+                match iam_sql::parse(&rendered) {
+                    Ok(back) => assert_eq!(
+                        back.to_string(),
+                        rendered,
+                        "display is not a fixpoint for {text:?}"
+                    ),
+                    Err(e) => panic!("canonical text {rendered:?} failed to re-parse: {e}"),
+                }
+            }
+        }));
+        if let Err(e) = r {
+            crashes.push(Crash { input, context: format!("iter {i}: {}", panic_message(&*e)) });
+        }
+    }
+    FuzzReport { target: "sql".into(), iters, crashes }
+}
+
 // --- driver ----------------------------------------------------------------
 
 /// Run one or all targets for `iters` seeded iterations each. Crashing
@@ -396,7 +447,7 @@ pub fn run(
     corpus_dir: Option<&Path>,
 ) -> std::io::Result<Vec<FuzzReport>> {
     let targets: Vec<&str> = match target {
-        "all" => vec!["proto", "persist", "line"],
+        "all" => vec!["proto", "persist", "line", "sql"],
         t => vec![t],
     };
     // fuzzing *expects* panics; keep half a million backtraces off stderr
@@ -408,11 +459,12 @@ pub fn run(
             "proto" => fuzz_proto(seed, iters),
             "persist" => fuzz_persist(seed, iters),
             "line" => fuzz_line(seed, iters),
+            "sql" => fuzz_sql(seed, iters),
             other => {
                 std::panic::set_hook(prev_hook);
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::InvalidInput,
-                    format!("unknown fuzz target {other:?} (proto|persist|line|all)"),
+                    format!("unknown fuzz target {other:?} (proto|persist|line|sql|all)"),
                 ));
             }
         };

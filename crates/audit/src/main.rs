@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run -p iam-audit -- lint [--json] [--rules]
-//! cargo run -p iam-audit -- fuzz [--target proto|persist|line|all]
+//! cargo run -p iam-audit -- fuzz [--target proto|persist|line|sql|all]
 //!                                [--iters N] [--seed N] [--save-crashes]
 //! ```
 //!
@@ -33,7 +33,7 @@ fn usage() -> ExitCode {
          commands:\n\
          \x20 lint [--json] [--rules]      run the workspace lint pass\n\
          \x20 fuzz [--target T] [--iters N] [--seed N] [--save-crashes]\n\
-         \x20                              fuzz T in proto|persist|line|all\n\
+         \x20                              fuzz T in proto|persist|line|sql|all\n\
          \x20                              (default: all, 1000 iters, seed 1)"
     );
     ExitCode::from(2)

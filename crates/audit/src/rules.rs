@@ -43,7 +43,8 @@ pub fn registry() -> Vec<Rule> {
         Rule {
             id: "wire-panic",
             description: "no unwrap/expect/panic reachable from untrusted input \
-                          (serve::net, dist::proto, dist::worker, persist load path)",
+                          (serve::net, serve::sql, dist::proto, dist::worker, \
+                          sql parser, persist load path)",
             check: wire_panic,
         },
         Rule {
@@ -78,8 +79,15 @@ pub fn registry() -> Vec<Rule> {
 // --- wire-panic ------------------------------------------------------------
 
 /// Files whose every non-test function faces untrusted bytes.
-const WIRE_FILES: &[&str] =
-    &["crates/serve/src/net.rs", "crates/dist/src/proto.rs", "crates/dist/src/worker.rs"];
+const WIRE_FILES: &[&str] = &[
+    "crates/serve/src/net.rs",
+    "crates/serve/src/sql.rs",
+    "crates/dist/src/proto.rs",
+    "crates/dist/src/worker.rs",
+    "crates/sql/src/lexer.rs",
+    "crates/sql/src/parser.rs",
+    "crates/sql/src/lower.rs",
+];
 
 /// In `persist.rs` only the load path parses untrusted bytes (`save` is
 /// fed by in-process state); scope to the deserialisation functions.

@@ -118,4 +118,13 @@ fn regenerate_seed_corpus() {
 
     // repeated column with overlapping ranges plus a bare equality
     write("line-dup-col", b"0=1..10 0=5..20 2=7");
+
+    // -- sql: statement parsing -------------------------------------------
+
+    // numeric literal that overflows f64: must be rejected as a parse
+    // error, not admitted as ±∞ (which would break canonical re-rendering)
+    write("sql-overflow-literal", b"SELECT COUNT(*) FROM t WHERE c0 < 1e309");
+
+    // invalid UTF-8 and truncation mid-keyword around a plausible statement
+    write("sql-junk-utf8", b"SELECT COUNT(*) FROM t WHERE c0 BETW\xff\xfeEN 1 AND");
 }

@@ -19,8 +19,14 @@ use crate::estimator::IamEstimator;
 use crate::schema::{ColumnHandler, SlotConstraint, SlotRole};
 use iam_data::{Interval, RangeQuery};
 use iam_gmm::math::{std_normal_cdf, std_normal_pdf};
+use iam_nn::InferScratch;
 use rand::rngs::StdRng;
-use rand::RngExt;
+use rand::{RngExt, SeedableRng};
+
+/// Domain-separation constant mixed into the per-query aggregate sampling
+/// seed so AQP draws never correlate with the selectivity sampler's (which
+/// seeds from `sampling_salt ^ canonical_key` alone).
+const AQP_SEED_SALT: u64 = 0xA9_9AD0_17E5;
 
 /// Result of an aggregate estimate.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,11 +67,53 @@ pub fn truncated_normal_mean(mean: f64, std: f64, lo: f64, hi: f64) -> f64 {
 impl IamEstimator {
     /// Estimate `AVG`/`SUM`/`COUNT` of column `target_col` over the region
     /// described by `rq`, using `nrows` as the table cardinality.
+    ///
+    /// Stateful variant: each call advances the estimator's internal RNG,
+    /// so repeated calls give independent Monte-Carlo draws. For the
+    /// deterministic, shareable path (serving), see
+    /// [`Self::estimate_aggregate_shared`].
     pub fn estimate_aggregate(
         &mut self,
         rq: &RangeQuery,
         target_col: usize,
         nrows: usize,
+    ) -> AggregateEstimate {
+        let seed = self.rng_mut().random::<u64>();
+        self.aggregate_seeded(rq, target_col, nrows, seed)
+    }
+
+    /// Deterministic, shareable aggregate estimation: `&self`, so a single
+    /// trained model behind an `Arc` can answer aggregates from many
+    /// threads concurrently (the SQL front-end path).
+    ///
+    /// The sampling seed is derived from the model's
+    /// [`Self::sampling_salt`], the query's
+    /// [`RangeQuery::canonical_key`], and a fixed AQP domain-separation
+    /// constant — making every aggregate a pure function of
+    /// (model, query, target column): independent of call order and of
+    /// concurrent load, mirroring the guarantee
+    /// [`Self::estimate_batch_shared`] gives for selectivities.
+    pub fn estimate_aggregate_shared(
+        &self,
+        rq: &RangeQuery,
+        target_col: usize,
+        nrows: usize,
+    ) -> AggregateEstimate {
+        let seed = self.sampling_salt()
+            ^ rq.canonical_key()
+            ^ AQP_SEED_SALT
+            ^ (target_col as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.aggregate_seeded(rq, target_col, nrows, seed)
+    }
+
+    /// Shared implementation: estimate aggregates with a caller-fixed
+    /// sampling seed.
+    fn aggregate_seeded(
+        &self,
+        rq: &RangeQuery,
+        target_col: usize,
+        nrows: usize,
+        seed: u64,
     ) -> AggregateEstimate {
         crate::probes::aqp().queries.inc();
         let plan = match self.schema.query_plan(rq) {
@@ -74,8 +122,9 @@ impl IamEstimator {
                 return AggregateEstimate { avg: f64::NAN, sum: 0.0, count: 0.0, selectivity: 0.0 }
             }
         };
-        let samples = self.cfg.samples;
-        let (tuples, weights) = self.sample_region(&plan, samples);
+        let samples = self.samples();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (tuples, weights) = self.sample_region(&plan, samples, &mut rng);
         let sel: f64 = weights.iter().sum::<f64>() / samples.max(1) as f64;
         let target_iv = rq.cols[target_col].unwrap_or(Interval::full());
 
@@ -102,8 +151,16 @@ impl IamEstimator {
     /// Draw `n` tuples from the model restricted to `plan`, returning slot
     /// values and importance weights (wildcard slots are *sampled from the
     /// full conditional* here, since the aggregate's target column may be
-    /// unconstrained).
-    fn sample_region(&mut self, plan: &[SlotConstraint], n: usize) -> (Vec<Vec<usize>>, Vec<f64>) {
+    /// unconstrained). Immutable: forwards run through
+    /// [`iam_nn::MadeNet::forward_column_into`] with local scratch, so the
+    /// fused inference tables survive and concurrent callers never
+    /// contend.
+    fn sample_region(
+        &self,
+        plan: &[SlotConstraint],
+        n: usize,
+        rng: &mut StdRng,
+    ) -> (Vec<Vec<usize>>, Vec<f64>) {
         let _span = iam_obs::span!("aqp.sample_region");
         // aggregate sampling must materialise every slot, so replace
         // wildcards with full ranges
@@ -118,7 +175,8 @@ impl IamEstimator {
             })
             .collect();
         let nslots = self.schema.nslots();
-        let net = self.net_mut();
+        let net = self.net_ref();
+        let mut scratch = InferScratch::new();
         let mut inputs: Vec<usize> = (0..n)
             .flat_map(|_| (0..nslots).map(|s| net.mask_token(s)).collect::<Vec<_>>())
             .collect();
@@ -128,25 +186,25 @@ impl IamEstimator {
         let mut weighted = Vec::new();
 
         for slot in 0..nslots {
-            let width = self.net_mut().domain_size(slot);
+            let width = net.domain_size(slot);
             // gather inputs (all rows still alive)
             let batch_inputs = inputs.clone();
-            self.net_mut().forward_column(&batch_inputs, n, slot, &mut logits);
+            net.forward_column_into(&mut scratch, &batch_inputs, n, slot, &mut logits);
             for row in 0..n {
                 if weights[row] <= 0.0 {
                     continue;
                 }
-                self.net_mut().row_softmax(&logits, row, width, &mut probs);
+                net.row_softmax(&logits, row, width, &mut probs);
                 let pick = match &full_plan[slot] {
                     SlotConstraint::Range(a, b) => {
                         weighted.clear();
                         weighted.extend(probs[*a..=*b].iter().map(|&p| p as f64));
-                        draw(&weighted, &mut weights[row], self.rng_mut()).map(|j| a + j)
+                        draw(&weighted, &mut weights[row], rng).map(|j| a + j)
                     }
                     SlotConstraint::Weights(w) => {
                         weighted.clear();
                         weighted.extend(probs.iter().zip(w).map(|(&p, &m)| p as f64 * m));
-                        draw(&weighted, &mut weights[row], self.rng_mut())
+                        draw(&weighted, &mut weights[row], rng)
                     }
                     SlotConstraint::FactorLo { lo_idx, hi_idx, base } => {
                         let hi_s = inputs[row * nslots + slot - 1];
@@ -159,7 +217,7 @@ impl IamEstimator {
                         } else {
                             weighted.clear();
                             weighted.extend(probs[a..=b].iter().map(|&p| p as f64));
-                            draw(&weighted, &mut weights[row], self.rng_mut()).map(|j| a + j)
+                            draw(&weighted, &mut weights[row], rng).map(|j| a + j)
                         }
                     }
                     SlotConstraint::Wildcard => unreachable!("wildcards replaced above"),
@@ -324,6 +382,24 @@ mod tests {
         let truth = sel.iter().sum::<f64>() / sel.len() as f64;
         assert!((agg.avg - truth).abs() < 1.5, "est {} truth {truth}", agg.avg);
         assert!(agg.avg >= 15.0, "AVG over x≥15 cannot be below 15: {}", agg.avg);
+    }
+
+    #[test]
+    fn shared_aggregates_are_deterministic() {
+        let t = table(2000, 4);
+        let est = IamEstimator::fit(&t, cfg());
+        let q = Query::new(vec![Predicate { col: 0, op: Op::Eq, value: 1.0 }]);
+        let (rq, _) = q.normalize(2).unwrap();
+        let a = est.estimate_aggregate_shared(&rq, 1, t.nrows());
+        let b = est.estimate_aggregate_shared(&rq, 1, t.nrows());
+        assert_eq!(a.avg.to_bits(), b.avg.to_bits());
+        assert_eq!(a.sum.to_bits(), b.sum.to_bits());
+        assert_eq!(a.count.to_bits(), b.count.to_bits());
+        assert_eq!(a.selectivity.to_bits(), b.selectivity.to_bits());
+        // distinct target columns decorrelate their seeds but still share
+        // the region, so selectivity stays a pure function of the query
+        let c = est.estimate_aggregate_shared(&rq, 0, t.nrows());
+        assert!(c.count.is_finite());
     }
 
     #[test]

@@ -271,6 +271,18 @@ impl IamEstimator {
     pub(crate) fn rng_mut(&mut self) -> &mut StdRng {
         &mut self.rng
     }
+
+    /// Shared read access to the AR network — the `&self` counterpart of
+    /// [`Self::net_mut`] for deterministic concurrent paths (no fused-table
+    /// invalidation, no parameter mutation).
+    pub(crate) fn net_ref(&self) -> &MadeNet {
+        &self.net
+    }
+
+    /// Effective per-query sample budget (used by the AQP extension).
+    pub(crate) fn samples(&self) -> usize {
+        self.cfg.samples
+    }
 }
 
 impl SelectivityEstimator for IamEstimator {

@@ -329,6 +329,87 @@ impl Coordinator {
             .collect()
     }
 
+    /// Answer one SQL statement against the cluster.
+    ///
+    /// Single-table `SELECT COUNT(*)/SUM/AVG` statements are re-rendered
+    /// canonically and forwarded (via [`Msg::Sql`]) to a replica of the
+    /// statement's table with the same rotation failover as
+    /// [`Coordinator::estimate_batch`]; the worker answers with the exact
+    /// reply body a single-process TCP front-end would print, so COUNT
+    /// answers stay bit-identical to the line protocol. `EXPLAIN SELECT
+    /// ... JOIN ...` statements are decomposed at the coordinator: each
+    /// referenced table's conjuncts become a per-table `SELECT COUNT(*)`
+    /// RPC (tables may be placed on different workers), and the gathered
+    /// cardinalities drive the join-order search locally.
+    ///
+    /// `SELECT` over a join (without `EXPLAIN`) is rejected: the paper's
+    /// estimator factorises per-table, so cross-table aggregates have no
+    /// sound answer here.
+    pub fn sql(&self, stmt: &str) -> Result<String, DistError> {
+        let _s = iam_obs::span!("dist.sql");
+        match iam_sql::parse(stmt).map_err(|e| DistError::Sql(e.to_string()))? {
+            iam_sql::Statement::Select(sel) => {
+                if !sel.joins.is_empty() {
+                    return Err(DistError::Sql(
+                        "JOIN is supported under EXPLAIN only; aggregates over joins \
+                         are not estimable per-table"
+                            .into(),
+                    ));
+                }
+                self.sql_table(&sel.table, &sel.to_string())
+            }
+            iam_sql::Statement::Explain(sel) => {
+                let mut cards = RpcCards { coord: self };
+                iam_sql::explain(&sel, &mut cards).map_err(|e| DistError::Sql(e.to_string()))
+            }
+        }
+    }
+
+    /// Forward one already-validated single-table SQL statement to a
+    /// replica of `table`, with rotation failover under a shared deadline.
+    /// Application errors are remembered across attempts so a statement
+    /// that every replica rejects surfaces its reason instead of a bare
+    /// replica-exhaustion error.
+    fn sql_table(&self, table: &str, stmt: &str) -> Result<String, DistError> {
+        let rotation = self.placement.rotation(table);
+        if rotation.is_empty() {
+            return Err(DistError::UnknownTable(table.to_string()));
+        }
+        let deadline = Instant::now() + self.cfg.rpc_timeout;
+        let msg = Msg::Sql { table: table.to_string(), stmt: stmt.to_string() };
+        let mut last_remote = None;
+        for (attempt, &wid) in rotation.iter().enumerate() {
+            if attempt > 0 {
+                self.failovers.inc();
+            }
+            self.rpcs[wid].inc();
+            let _s = iam_obs::span!("dist.rpc");
+            let ctx = iam_obs::tracetree::child_ctx();
+            match self.workers[wid].rpc(
+                &msg,
+                ctx,
+                deadline,
+                self.cfg.connect_timeout,
+                self.cfg.max_frame,
+            ) {
+                Ok(Msg::SqlReply { body }) => return Ok(body),
+                Ok(Msg::Error { message }) => {
+                    // still retried — one replica may have missed a
+                    // snapshot — but the reason is kept for the error
+                    self.rpc_failures[wid].inc();
+                    last_remote = Some(message);
+                }
+                _ => {
+                    self.rpc_failures[wid].inc();
+                }
+            }
+        }
+        match last_remote {
+            Some(message) => Err(DistError::Remote(message)),
+            None => Err(DistError::NoReplica { table: table.to_string(), tried: rotation.len() }),
+        }
+    }
+
     /// Ship pre-framed snapshot bytes to every replica of `table`,
     /// returning one outcome per replica. Replicas are shipped
     /// sequentially so at most one replica is mid-install at a time (the
@@ -484,4 +565,44 @@ impl Coordinator {
             );
         }
     }
+}
+
+/// [`iam_sql::CardSource`] backed by per-table `SELECT COUNT(*)` RPCs:
+/// each table's conjuncts are rendered back to SQL and answered by that
+/// table's own replicas, so an EXPLAIN over a star join gathers its
+/// cardinalities from however many workers the placement map spreads the
+/// tables across.
+struct RpcCards<'a> {
+    coord: &'a Coordinator,
+}
+
+impl iam_sql::CardSource for RpcCards<'_> {
+    fn table_sel(
+        &mut self,
+        table: &str,
+        conds: &[iam_sql::Cond],
+    ) -> Result<(f64, u64), iam_sql::SqlError> {
+        let mut stmt = format!("SELECT COUNT(*) FROM {table}");
+        for (i, cond) in conds.iter().enumerate() {
+            stmt.push_str(if i == 0 { " WHERE " } else { " AND " });
+            stmt.push_str(&cond.to_string());
+        }
+        let body = self
+            .coord
+            .sql_table(table, &stmt)
+            .map_err(|e| iam_sql::SqlError::new(format!("{table}: {e}")))?;
+        parse_count_body(&body).ok_or_else(|| {
+            iam_sql::SqlError::new(format!("{table}: malformed COUNT reply {body:?}"))
+        })
+    }
+}
+
+/// Parse a worker's `COUNT <count> SEL <sel> NROWS <nrows>` reply body
+/// into `(selectivity, nrows)`.
+fn parse_count_body(body: &str) -> Option<(f64, u64)> {
+    let parts: Vec<&str> = body.split_whitespace().collect();
+    if parts.len() != 6 || parts[0] != "COUNT" || parts[2] != "SEL" || parts[4] != "NROWS" {
+        return None;
+    }
+    Some((parts[3].parse().ok()?, parts[5].parse().ok()?))
 }

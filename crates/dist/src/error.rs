@@ -35,6 +35,9 @@ pub enum DistError {
     },
     /// The request referenced a table absent from the placement map.
     UnknownTable(String),
+    /// A SQL statement failed to parse or lower at the coordinator — the
+    /// statement never reached a worker.
+    Sql(String),
 }
 
 impl fmt::Display for DistError {
@@ -51,6 +54,7 @@ impl fmt::Display for DistError {
                 write!(f, "all {tried} replicas of table {table:?} failed")
             }
             DistError::UnknownTable(t) => write!(f, "table {t:?} is not placed on any worker"),
+            DistError::Sql(m) => write!(f, "sql error: {m}"),
         }
     }
 }

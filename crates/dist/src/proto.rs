@@ -23,7 +23,7 @@
 //! # Envelope versions
 //!
 //! The original (v1) payload starts directly with the message tag; tags
-//! are small (1..=13) and `0xFF` can never be one. Version 2 exploits
+//! are small (1..=15) and `0xFF` can never be one. Version 2 exploits
 //! that: a payload whose first byte is [`ENVELOPE_MARKER`] (`0xFF`)
 //! carries an *envelope* — `[0xFF][version][flags][optional trace
 //! context][optional span records]` — followed by an ordinary v1 message
@@ -122,6 +122,22 @@ pub enum Msg {
     Error {
         /// Human-readable reason.
         message: String,
+    },
+    /// Execute one SQL statement against `table`'s model (single-table
+    /// `SELECT`/`EXPLAIN`; the coordinator decomposes join statements
+    /// into per-table sub-statements before forwarding).
+    Sql {
+        /// Target table (must match the statement's `FROM` table).
+        table: String,
+        /// The statement text, in the `iam-sql` grammar.
+        stmt: String,
+    },
+    /// Reply to [`Msg::Sql`]: the rendered reply body, exactly as the
+    /// serve layer's `SQL` line-protocol command prints it (NaN-free by
+    /// construction — empty regions answer the `NULL` marker).
+    SqlReply {
+        /// Reply text (multi-line for `EXPLAIN`, `END`-terminated).
+        body: String,
     },
 }
 
@@ -300,6 +316,15 @@ impl Msg {
                 out.push(13);
                 w_str(&mut out, prom);
             }
+            Msg::Sql { table, stmt } => {
+                out.push(14);
+                w_str(&mut out, table);
+                w_str(&mut out, stmt);
+            }
+            Msg::SqlReply { body } => {
+                out.push(15);
+                w_str(&mut out, body);
+            }
         }
         out
     }
@@ -343,6 +368,8 @@ impl Msg {
             11 => Msg::Error { message: cur.str()? },
             12 => Msg::Stats,
             13 => Msg::StatsReply { prom: cur.str()? },
+            14 => Msg::Sql { table: cur.str()?, stmt: cur.str()? },
+            15 => Msg::SqlReply { body: cur.str()? },
             t => return Err(DistError::Protocol(format!("unknown message tag {t}"))),
         };
         if cur.pos != buf.len() {
@@ -692,6 +719,11 @@ mod tests {
         roundtrip(Msg::Error { message: "nope".into() });
         roundtrip(Msg::Stats);
         roundtrip(Msg::StatsReply { prom: "# TYPE x counter\nx 1\n".into() });
+        roundtrip(Msg::Sql {
+            table: "twi".into(),
+            stmt: "SELECT COUNT(*) FROM twi WHERE c0 = 3".into(),
+        });
+        roundtrip(Msg::SqlReply { body: "COUNT 12.000000 SEL 0.015000 NROWS 800".into() });
     }
 
     fn span(trace: u128, id: u64, parent: u64) -> SpanRecord {

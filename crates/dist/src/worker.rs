@@ -122,6 +122,25 @@ impl WorkerState {
                 Some(Msg::EstimateReply { results })
             }
             Msg::Stats => Some(Msg::StatsReply { prom: self.exposition() }),
+            Msg::Sql { table, stmt } => {
+                let client = {
+                    let tables = self.lock_tables();
+                    match tables.get(&table) {
+                        Some(svc) => svc.client(),
+                        None => {
+                            return Some(Msg::Error { message: format!("unknown table {table:?}") })
+                        }
+                    }
+                };
+                self.estimates.inc();
+                // the worker only executes single-table statements — the
+                // coordinator decomposes joins before forwarding — so the
+                // serve layer's SQL executor applies unchanged
+                Some(match iam_serve::execute_sql(&stmt, &client) {
+                    Ok(body) => Msg::SqlReply { body },
+                    Err(e) => Msg::Error { message: e.to_string() },
+                })
+            }
             // reply-direction messages are meaningless as requests
             Msg::Pong
             | Msg::LoadAck { .. }
@@ -129,6 +148,7 @@ impl WorkerState {
             | Msg::VersionReply { .. }
             | Msg::ShutdownAck
             | Msg::StatsReply { .. }
+            | Msg::SqlReply { .. }
             | Msg::Error { .. } => {
                 Some(Msg::Error { message: "unexpected reply-direction message".into() })
             }

@@ -9,6 +9,7 @@
 //! * `proto-*`   → `iam_dist::proto::read_msg` (framed) and `Msg::decode`
 //! * `persist-*` → `iam_core::persist` via `IamEstimator::load_framed`
 //! * `line-*`    → `iam_serve::net::parse_query`
+//! * `sql-*`     → `iam_sql::parse`
 //!
 //! The contract for every entry is the same: the parser returns — `Ok`
 //! or a typed error — without panicking. Unknown prefixes fail the test
@@ -46,8 +47,16 @@ fn replay(path: &Path, bytes: &[u8]) {
                 let _ = parse_query(&line, ncols);
             }
         })
+    } else if name.starts_with("sql-") {
+        Box::new(|| {
+            let text = String::from_utf8_lossy(bytes);
+            if let Ok(stmt) = iam_sql::parse(&text) {
+                // valid parses must render to canonical re-parseable text
+                let _ = iam_sql::parse(&stmt.to_string()).expect("canonical text re-parses");
+            }
+        })
     } else {
-        panic!("corpus entry {name:?} has no parser prefix (proto-/persist-/line-)");
+        panic!("corpus entry {name:?} has no parser prefix (proto-/persist-/line-/sql-)");
     };
     let result = catch_unwind(AssertUnwindSafe(run));
     assert!(result.is_ok(), "corpus entry {name:?} panicked its parser");

@@ -19,7 +19,12 @@
 //!   latency/batch-size histograms with a [`Metrics::snapshot`] API and a
 //!   plain-text dump;
 //! * [`net`] — a `TcpListener` line protocol (one query per line, one
-//!   selectivity per line) over the same [`Client`].
+//!   selectivity per line) over the same [`Client`];
+//! * [`sql`] — execution of parsed `iam-sql` statements against a
+//!   [`Client`]: `COUNT(*)` through the estimator (bit-identical to the
+//!   line protocol for equivalent predicates), `SUM`/`AVG` through
+//!   `core::aqp`, `EXPLAIN` through the `iam-opt` plan renderer; reached
+//!   over TCP as the `SQL <statement>` command.
 //!
 //! Correctness rests on one invariant from `iam_core::infer`: every
 //! query's sampling seed derives from the model's salt and the query's
@@ -36,6 +41,7 @@ pub mod metrics;
 pub mod net;
 pub mod registry;
 pub mod service;
+pub mod sql;
 
 pub use cache::QueryCache;
 pub use error::ServeError;
@@ -43,3 +49,4 @@ pub use metrics::{Metrics, MetricsSnapshot};
 pub use net::{parse_query, render_query, TcpFrontend, MAX_LINE_BYTES};
 pub use registry::{ModelRegistry, ModelVersion};
 pub use service::{Client, ServeConfig, Service};
+pub use sql::execute_sql;

@@ -22,6 +22,8 @@
 //! ← 9577216733948907093 0.127341
 //! → REPORT 9577216733948907093 1250   # true count observed by the client
 //! ← OK 1.373200                       # resolved q-error
+//! → SQL SELECT COUNT(*) FROM t WHERE c0=3   # SQL subset (see crate::sql)
+//! ← COUNT 1273.410000 SEL 0.127341 NROWS 10000
 //! → QUIT                      # close the connection
 //! ```
 //!
@@ -63,6 +65,11 @@ pub fn parse_query(line: &str, ncols: usize) -> Result<RangeQuery, ServeError> {
     let mut terms = 0usize;
     for term in line.split_whitespace() {
         terms += 1;
+        if term == "*" {
+            // wildcard term: no constraint (this is what `render_query`
+            // emits for an unconstrained query, so it must re-parse)
+            continue;
+        }
         let (col_s, range_s) =
             term.split_once('=').ok_or_else(|| bad(format!("expected col=range, got {term:?}")))?;
         let col: usize = col_s.parse().map_err(|_| bad(format!("bad column index {col_s:?}")))?;
@@ -102,9 +109,20 @@ pub fn parse_query(line: &str, ncols: usize) -> Result<RangeQuery, ServeError> {
 
 /// Render a query back into the line-protocol grammar, constrained columns
 /// in index order — the canonical predicate text stored in q-error
-/// records. Infinite bounds render as `*`; an unconstrained query renders
-/// as `*` alone. (Strictness flags, which the text grammar cannot express,
-/// are carried by the canonical key, not the text.)
+/// records. Every output re-parses via [`parse_query`] to an equivalent
+/// query:
+///
+/// * infinite *range* bounds render as `*`, and an unconstrained query
+///   renders as the bare wildcard `*` (which `parse_query` accepts);
+/// * a degenerate point at `±∞` renders as the literal `col=inf` /
+///   `col=-inf` rather than the unparseable `col=*`;
+/// * an *empty* interval (post-`intersect`, or emptied by strictness
+///   flags) renders as the canonical empty range `col=inf..-inf`, which
+///   re-parses to an interval that is again empty.
+///
+/// (Strictness flags, which the text grammar cannot express, are carried
+/// by the canonical key, not the text: a re-parse preserves emptiness and
+/// endpoint values, not strictness bits.)
 pub fn render_query(rq: &RangeQuery) -> String {
     let mut out = String::new();
     let fmt_bound = |v: f64| {
@@ -119,8 +137,12 @@ pub fn render_query(rq: &RangeQuery) -> String {
         if !out.is_empty() {
             out.push(' ');
         }
-        if iv.lo == iv.hi {
-            out.push_str(&format!("{col}={}", fmt_bound(iv.lo)));
+        if iv.is_empty() {
+            out.push_str(&format!("{col}=inf..-inf"));
+        } else if iv.lo == iv.hi {
+            // `{}` prints f64s shortest-round-trip (incl. `inf`/`-inf`),
+            // and `parse_query` accepts all of those as point values
+            out.push_str(&format!("{col}={}", iv.lo));
         } else {
             out.push_str(&format!("{col}={}..{}", fmt_bound(iv.lo), fmt_bound(iv.hi)));
         }
@@ -261,6 +283,13 @@ fn handle_connection(stream: TcpStream, client: &Client, stop: &AtomicBool) -> i
                 let (id, label) = client.current_version();
                 writeln!(out, "{id} {label}")?;
             }
+            cmd if cmd.starts_with("SQL ") || cmd == "SQL" => {
+                let stmt = cmd.strip_prefix("SQL").unwrap_or("").trim();
+                match crate::sql::execute_sql(stmt, client) {
+                    Ok(body) => writeln!(out, "{body}")?,
+                    Err(e) => writeln!(out, "ERR {e}")?,
+                }
+            }
             cmd if cmd.starts_with("TRACKED ") || cmd == "TRACKED" => {
                 let query = cmd.strip_prefix("TRACKED").unwrap_or("").trim();
                 match parse_query(query, client.ncols()) {
@@ -342,6 +371,39 @@ mod tests {
             assert_eq!(back.canonical_key(), rq.canonical_key(), "{line} → {rendered}");
         }
         assert_eq!(render_query(&RangeQuery::unconstrained(2)), "*");
+    }
+
+    #[test]
+    fn bare_wildcard_parses_unconstrained() {
+        let rq = parse_query("*", 2).unwrap();
+        assert!(rq.cols.iter().all(|c| c.is_none()));
+        let back = parse_query(&render_query(&RangeQuery::unconstrained(2)), 2).unwrap();
+        assert_eq!(back.canonical_key(), rq.canonical_key());
+    }
+
+    #[test]
+    fn render_handles_degenerate_and_empty_intervals() {
+        // degenerate points at ±∞ render as literals, not the unparseable `col=*`
+        let mut rq = RangeQuery::unconstrained(2);
+        rq.cols[0] = Some(Interval::point(f64::INFINITY));
+        rq.cols[1] = Some(Interval::point(f64::NEG_INFINITY));
+        let r = render_query(&rq);
+        assert_eq!(r, "0=inf 1=-inf");
+        let back = parse_query(&r, 2).unwrap();
+        assert_eq!(back.canonical_key(), rq.canonical_key());
+
+        // an empty interval renders as the canonical empty range and
+        // re-parses to an interval that is again empty
+        let mut rq = RangeQuery::unconstrained(1);
+        rq.cols[0] = Some(Interval::closed(5.0, 3.0));
+        let r = render_query(&rq);
+        assert_eq!(r, "0=inf..-inf");
+        assert!(parse_query(&r, 1).unwrap().cols[0].unwrap().is_empty());
+
+        // strictness-emptied [v, v) must not render as a satisfiable point
+        let mut rq = RangeQuery::unconstrained(1);
+        rq.cols[0] = Some(Interval { lo: 2.0, hi: 2.0, lo_strict: false, hi_strict: true });
+        assert!(parse_query(&render_query(&rq), 1).unwrap().cols[0].unwrap().is_empty());
     }
 
     #[test]

@@ -398,6 +398,50 @@ impl Client {
         self.inner.registry.current().model.schema.handlers.len()
     }
 
+    /// Row count of the table the active model was trained on.
+    pub fn nrows(&self) -> usize {
+        self.inner.registry.current().model.nrows()
+    }
+
+    /// Estimate `AVG`/`SUM`/`COUNT` of `target_col` over `q`'s region —
+    /// the AQP path behind `SQL SELECT SUM/AVG`. Answers come straight
+    /// from [`iam_core::aqp`]'s deterministic shared sampler (a pure
+    /// function of model version, query, and target column), bypassing
+    /// the micro-batch queue: aggregate traffic is expected to be rare
+    /// relative to cardinality lookups and its per-query sampling cannot
+    /// be coalesced across queries the way selectivity inference can.
+    /// Returns the estimate and the model's row count.
+    pub fn aggregate(
+        &self,
+        q: &RangeQuery,
+        target_col: usize,
+    ) -> Result<(iam_core::aqp::AggregateEstimate, usize), ServeError> {
+        let start = Instant::now();
+        self.inner.metrics.request();
+        if self.inner.shutdown.load(Relaxed) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let version = self.inner.registry.current();
+        let ncols = version.model.schema.handlers.len();
+        if q.cols.len() != ncols {
+            self.inner.metrics.bad_query();
+            return Err(ServeError::BadQuery(format!(
+                "query has {} columns, model has {ncols}",
+                q.cols.len()
+            )));
+        }
+        if target_col >= ncols {
+            self.inner.metrics.bad_query();
+            return Err(ServeError::BadQuery(format!(
+                "aggregate column c{target_col} out of range (model has {ncols})"
+            )));
+        }
+        let nrows = version.model.nrows();
+        let agg = version.model.estimate_aggregate_shared(q, target_col, nrows);
+        self.inner.metrics.latency(start.elapsed());
+        Ok((agg, nrows))
+    }
+
     /// `(id, label)` of the active model version.
     pub fn current_version(&self) -> (u64, String) {
         let v = self.inner.registry.current();

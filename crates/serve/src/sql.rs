@@ -1,0 +1,136 @@
+//! Execution of parsed SQL statements against a [`Client`] — the handler
+//! behind the line protocol's `SQL <statement>` command.
+//!
+//! Reply shapes (all single-line except `EXPLAIN`, and all NaN-free —
+//! an aggregate over a region with no estimated mass answers the explicit
+//! `NULL` marker, never a raw `NaN`):
+//!
+//! ```text
+//! → SQL SELECT COUNT(*) FROM t WHERE c0 = 3 AND c1 BETWEEN 2.5 AND 9
+//! ← COUNT 1273.410000 SEL 0.127341 NROWS 10000
+//! → SQL SELECT SUM(c1) FROM t WHERE c0 = 3
+//! ← SUM 31835.250000 COUNT 1273.410000 SEL 0.127341
+//! → SQL SELECT AVG(c1) FROM t WHERE c0 = 99
+//! ← AVG NULL COUNT 0.000000 SEL 0.000000
+//! → SQL EXPLAIN SELECT COUNT(*) FROM t WHERE c0 <= 3
+//! ← PLAN est_cost=2500.000
+//! ← scan t est_card=2500.000
+//! ← END
+//! ```
+//!
+//! `COUNT` runs through [`Client::estimate`] — the same canonical-key →
+//! seed → cache pipeline as the `col=lo..hi` line grammar, so for
+//! equivalent predicates the selectivity is **bit-identical** and the
+//! `SEL` field prints the exact line-protocol reply. `SUM`/`AVG` run
+//! through [`Client::aggregate`] (the `core::aqp` shared sampler), and
+//! `EXPLAIN` feeds per-table estimates into the `iam-opt` plan renderer.
+//!
+//! A single serve process hosts one table, so statements with `JOIN`
+//! clauses are rejected here; the `iam-dist` coordinator decomposes them
+//! into per-table statements and assembles the answer cluster-side.
+
+use crate::error::ServeError;
+use crate::service::Client;
+use iam_sql::{parse, Agg, CardSource, Cond, Select, SqlError, Statement};
+
+/// Render an `f64` aggregate field, mapping every non-finite value to the
+/// explicit `NULL` marker (NaN is not valid JSON and breaks line parsing).
+fn num_or_null(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "NULL".to_string()
+    }
+}
+
+/// [`CardSource`] over the locally hosted model: one table, estimates via
+/// the standard client path.
+struct LocalCards<'c> {
+    client: &'c Client,
+}
+
+impl CardSource for LocalCards<'_> {
+    fn table_sel(&mut self, table: &str, conds: &[Cond]) -> Result<(f64, u64), SqlError> {
+        let ncols = self.client.ncols();
+        let rq = iam_sql::lower::lower_conjuncts(conds, table, ncols)?;
+        let sel = self.client.estimate(&rq).map_err(|e| SqlError::new(e.to_string()))?;
+        Ok((sel, self.client.nrows() as u64))
+    }
+}
+
+/// Execute a single-table `SELECT`.
+fn run_select(sel: &Select, client: &Client) -> Result<String, ServeError> {
+    if !sel.joins.is_empty() {
+        return Err(ServeError::BadQuery(
+            "JOIN queries need the cluster front-end (iam-dist coordinator)".into(),
+        ));
+    }
+    let ncols = client.ncols();
+    let rq =
+        iam_sql::lower_single_table(sel, ncols).map_err(|e| ServeError::BadQuery(e.to_string()))?;
+    match &sel.agg {
+        Agg::CountStar => {
+            let s = client.estimate(&rq)?;
+            let nrows = client.nrows();
+            Ok(format!("COUNT {:.6} SEL {s:.6} NROWS {nrows}", s * nrows as f64))
+        }
+        Agg::Sum(c) => {
+            let col = iam_sql::resolve_target(c, sel, ncols)
+                .map_err(|e| ServeError::BadQuery(e.to_string()))?;
+            let (agg, _) = client.aggregate(&rq, col)?;
+            Ok(format!(
+                "SUM {} COUNT {} SEL {}",
+                num_or_null(agg.sum),
+                num_or_null(agg.count),
+                num_or_null(agg.selectivity)
+            ))
+        }
+        Agg::Avg(c) => {
+            let col = iam_sql::resolve_target(c, sel, ncols)
+                .map_err(|e| ServeError::BadQuery(e.to_string()))?;
+            let (agg, _) = client.aggregate(&rq, col)?;
+            Ok(format!(
+                "AVG {} COUNT {} SEL {}",
+                num_or_null(agg.avg),
+                num_or_null(agg.count),
+                num_or_null(agg.selectivity)
+            ))
+        }
+    }
+}
+
+/// Parse and execute one SQL statement against the locally hosted model.
+///
+/// Returns the reply body without a trailing newline; `EXPLAIN` bodies
+/// are multi-line and end with an `END` line so stream clients know where
+/// the plan stops.
+pub fn execute_sql(stmt: &str, client: &Client) -> Result<String, ServeError> {
+    let parsed = parse(stmt).map_err(|e| ServeError::BadQuery(e.to_string()))?;
+    match &parsed {
+        Statement::Select(sel) => run_select(sel, client),
+        Statement::Explain(sel) => {
+            if !sel.joins.is_empty() {
+                return Err(ServeError::BadQuery(
+                    "EXPLAIN over joins needs the cluster front-end (iam-dist coordinator)".into(),
+                ));
+            }
+            let mut src = LocalCards { client };
+            let plan =
+                iam_sql::explain(sel, &mut src).map_err(|e| ServeError::BadQuery(e.to_string()))?;
+            Ok(format!("{plan}\nEND"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_marker_replaces_non_finite_fields() {
+        assert_eq!(num_or_null(1.5), "1.500000");
+        assert_eq!(num_or_null(f64::NAN), "NULL");
+        assert_eq!(num_or_null(f64::INFINITY), "NULL");
+        assert_eq!(num_or_null(f64::NEG_INFINITY), "NULL");
+    }
+}

@@ -1,0 +1,238 @@
+//! SQL front-end golden tests and the render/parse round-trip property.
+//!
+//! Pins the tentpole acceptance criterion: `SQL SELECT COUNT(*)` answers
+//! are **bit-identical** to the equivalent `col=lo..hi` line-protocol
+//! query — both at the library level (same canonical key → same sampling
+//! seed → same estimate bits) and over a live TCP connection (the `SEL`
+//! field prints the exact line-protocol reply text). Also proves the
+//! `render_query`/`parse_query` asymmetry fixes with an arbitrary-query
+//! property test, and the NaN-free `AVG NULL` encoding end to end.
+
+use iam_core::{IamConfig, IamEstimator};
+use iam_data::synth::Dataset;
+use iam_data::{Interval, RangeQuery};
+use iam_serve::{parse_query, render_query, ServeConfig, Service, TcpFrontend};
+use proptest::prelude::*;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+fn tiny_model(seed: u64) -> IamEstimator {
+    let table = Dataset::Twi.generate(800, seed);
+    let cfg = IamConfig {
+        components: 4,
+        hidden: vec![24, 24],
+        embed_dim: 6,
+        epochs: 2,
+        samples: 100,
+        seed,
+        ..IamConfig::default()
+    };
+    IamEstimator::fit(&table, cfg)
+}
+
+fn send_line(out: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> String {
+    writeln!(out, "{line}").unwrap();
+    out.flush().unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    reply.trim().to_string()
+}
+
+#[test]
+fn sql_count_is_bit_identical_to_line_protocol() {
+    let service = Service::start(tiny_model(5), "v1", ServeConfig::default());
+    let client = service.client();
+    let cases = [
+        ("0=1 1=2.5..9", "SELECT COUNT(*) FROM twi WHERE c0 = 1 AND c1 BETWEEN 2.5 AND 9"),
+        ("1=*..0.5", "SELECT COUNT(*) FROM twi WHERE c1 <= 0.5"),
+        ("0=2", "SELECT COUNT(*) FROM twi WHERE c0 = 2"),
+        ("1=-1..4 0=0..*", "SELECT COUNT(*) FROM twi WHERE c1 BETWEEN -1 AND 4 AND c0 >= 0"),
+    ];
+    for (line, sql) in cases {
+        let rq = parse_query(line, client.ncols()).unwrap();
+        let stmt = match iam_sql::parse(sql).unwrap() {
+            iam_sql::Statement::Select(s) => s,
+            _ => unreachable!(),
+        };
+        let lowered = iam_sql::lower_single_table(&stmt, client.ncols()).unwrap();
+        // identical canonical keys ⇒ identical sampling seed and cache slot
+        assert_eq!(lowered.canonical_key(), rq.canonical_key(), "{line} vs {sql}");
+        let via_line = client.estimate(&rq).unwrap();
+        let via_sql = client.estimate(&lowered).unwrap();
+        assert_eq!(via_sql.to_bits(), via_line.to_bits(), "{line} vs {sql}");
+    }
+    service.shutdown();
+}
+
+#[test]
+fn sql_over_tcp_matches_line_protocol_reply_text() {
+    let service = Service::start(tiny_model(6), "v1", ServeConfig::default());
+    let front = TcpFrontend::spawn(service.client(), "127.0.0.1:0").unwrap();
+    let stream = TcpStream::connect(front.addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut out = stream;
+
+    let line_reply = send_line(&mut out, &mut reader, "0=1 1=2.5..9");
+    let sql_reply = send_line(
+        &mut out,
+        &mut reader,
+        "SQL SELECT COUNT(*) FROM twi WHERE c0 = 1 AND c1 BETWEEN 2.5 AND 9",
+    );
+    let parts: Vec<&str> = sql_reply.split_whitespace().collect();
+    assert_eq!(parts[0], "COUNT", "{sql_reply}");
+    assert_eq!(parts[2], "SEL", "{sql_reply}");
+    // the SEL field is byte-for-byte the line-protocol reply
+    assert_eq!(parts[3], line_reply, "{sql_reply}");
+    assert_eq!(parts[4], "NROWS");
+    let nrows: f64 = parts[5].parse().unwrap();
+    let sel: f64 = parts[3].parse().unwrap();
+    let count: f64 = parts[1].parse().unwrap();
+    assert!((count - sel * nrows).abs() < 1e-3, "{sql_reply}");
+
+    front.stop();
+    service.shutdown();
+}
+
+#[test]
+fn sql_aggregates_and_explain_over_tcp() {
+    let service = Service::start(tiny_model(7), "v1", ServeConfig::default());
+    let front = TcpFrontend::spawn(service.client(), "127.0.0.1:0").unwrap();
+    let stream = TcpStream::connect(front.addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut out = stream;
+
+    // SUM/AVG answer through the AQP sampler, NaN-free
+    let avg = send_line(&mut out, &mut reader, "SQL SELECT AVG(c1) FROM twi WHERE c0 = 1");
+    assert!(avg.starts_with("AVG "), "{avg}");
+    assert!(!avg.contains("NaN"), "{avg}");
+    let sum = send_line(&mut out, &mut reader, "SQL SELECT SUM(c1) FROM twi WHERE c0 = 1");
+    assert!(sum.starts_with("SUM "), "{sum}");
+    // deterministic: the same statement answers identically
+    assert_eq!(sum, send_line(&mut out, &mut reader, "SQL SELECT SUM(c1) FROM twi WHERE c0 = 1"));
+
+    // an unsatisfiable region answers the explicit NULL marker, not NaN
+    let empty =
+        send_line(&mut out, &mut reader, "SQL SELECT AVG(c1) FROM twi WHERE c0 BETWEEN 5 AND 1");
+    assert!(empty.starts_with("AVG NULL "), "{empty}");
+    assert!(!empty.contains("NaN"), "{empty}");
+
+    // EXPLAIN renders a plan with per-node estimates, terminated by END
+    writeln!(out, "SQL EXPLAIN SELECT COUNT(*) FROM twi WHERE c0 <= 1").unwrap();
+    out.flush().unwrap();
+    let mut lines = Vec::new();
+    loop {
+        let mut l = String::new();
+        reader.read_line(&mut l).unwrap();
+        let l = l.trim().to_string();
+        if l == "END" {
+            break;
+        }
+        lines.push(l);
+    }
+    assert_eq!(lines.len(), 2, "{lines:?}");
+    assert!(lines[0].starts_with("PLAN est_cost="), "{lines:?}");
+    assert!(lines[1].starts_with("scan twi est_card="), "{lines:?}");
+
+    // joins need the cluster coordinator; a single serve process says so
+    let err = send_line(&mut out, &mut reader, "SQL SELECT COUNT(*) FROM a JOIN b ON a.c0 = b.c0");
+    assert!(err.starts_with("ERR "), "{err}");
+    // malformed SQL gets ERR, connection stays usable
+    let err = send_line(&mut out, &mut reader, "SQL SELEC COUNT(*) FROM t");
+    assert!(err.starts_with("ERR "), "{err}");
+    let ok = send_line(&mut out, &mut reader, "SQL SELECT COUNT(*) FROM twi");
+    assert!(ok.starts_with("COUNT "), "{ok}");
+
+    front.stop();
+    service.shutdown();
+}
+
+/// Deterministic arbitrary-interval generator driven by a SplitMix64
+/// stream: mixes finite values, ±∞, ±0.0, huge magnitudes, empty
+/// intervals (`lo > hi` and strictness-emptied points), and open bounds.
+fn arbitrary_query(seed: u64, ncols: usize) -> RangeQuery {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    const POOL: [f64; 12] = [
+        f64::NEG_INFINITY,
+        f64::INFINITY,
+        0.0,
+        -0.0,
+        1.0,
+        -1.5,
+        2.5,
+        1e300,
+        -1e300,
+        1e-300,
+        0.1,
+        7.25,
+    ];
+    let mut rq = RangeQuery::unconstrained(ncols);
+    for col in 0..ncols {
+        match next() % 4 {
+            0 => continue, // unconstrained
+            1 => {
+                // point (possibly at ±∞)
+                rq.cols[col] = Some(Interval::point(POOL[(next() % 12) as usize]));
+            }
+            _ => {
+                let lo = POOL[(next() % 12) as usize];
+                let hi = POOL[(next() % 12) as usize];
+                rq.cols[col] = Some(Interval {
+                    lo,
+                    hi,
+                    lo_strict: next() % 3 == 0,
+                    hi_strict: next() % 3 == 0,
+                });
+            }
+        }
+    }
+    rq
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    /// `parse_query(render_query(q))` round-trips every valid query to an
+    /// equivalent one: constrained columns stay constrained, emptiness is
+    /// preserved, and non-empty intervals keep their exact endpoints
+    /// (strictness flags, inexpressible in the text grammar, relax to
+    /// closed bounds — the canonical key carries them instead).
+    #[test]
+    fn render_parse_round_trips_arbitrary_queries(seed in 0u64..10_000) {
+        let ncols = 1 + (seed % 4) as usize;
+        let rq = arbitrary_query(seed * 0x51ED_2705, ncols);
+        let rendered = render_query(&rq);
+        let back = parse_query(&rendered, ncols);
+        prop_assert!(back.is_ok(), "{rendered:?} failed to re-parse: {back:?}");
+        let back = back.unwrap();
+        for col in 0..ncols {
+            match (&rq.cols[col], &back.cols[col]) {
+                (None, None) => {}
+                (Some(o), Some(b)) => {
+                    prop_assert_eq!(
+                        o.is_empty(), b.is_empty(),
+                        "col {} emptiness changed: {:?} → {:?} ({})", col, o, b, rendered
+                    );
+                    if !o.is_empty() {
+                        prop_assert!(
+                            b.lo == o.lo && b.hi == o.hi && !b.lo_strict && !b.hi_strict,
+                            "col {} bounds changed: {:?} → {:?} ({})", col, o, b, rendered
+                        );
+                    }
+                }
+                (o, b) => prop_assert!(
+                    false,
+                    "col {} constraint presence changed: {:?} → {:?} ({})", col, o, b, rendered
+                ),
+            }
+        }
+        // rendering is a fixpoint: a re-parsed query renders identically
+        prop_assert_eq!(render_query(&back), rendered);
+    }
+}

@@ -1,0 +1,441 @@
+//! Recursive-descent parser for the SQL subset, plus the AST and its
+//! canonical rendering.
+//!
+//! The grammar (keywords case-insensitive):
+//!
+//! ```text
+//! statement := [EXPLAIN] SELECT agg FROM ident join* [WHERE pred (AND pred)*] [;]
+//! agg       := COUNT ( * ) | SUM ( colref ) | AVG ( colref )
+//! join      := JOIN ident ON colref = colref
+//! pred      := colref (= | < | <= | > | >=) number
+//!            | colref BETWEEN number AND number
+//! colref    := [ident .] cN          # N = 0-based column index
+//! ```
+//!
+//! The parser is panic-free on arbitrary token streams: every failure is
+//! a [`SqlError`] naming what was expected. [`Statement`] implements
+//! [`std::fmt::Display`] with a canonical rendering that re-parses to the
+//! same AST — the dist coordinator uses it to forward per-table
+//! sub-statements, and the fuzz target uses it as its seed corpus.
+
+use crate::lexer::{lex, Token};
+use crate::SqlError;
+
+/// The aggregate requested by a `SELECT`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Agg {
+    /// `COUNT(*)` — cardinality of the region.
+    CountStar,
+    /// `SUM(col)` over the region.
+    Sum(ColRef),
+    /// `AVG(col)` over the region.
+    Avg(ColRef),
+}
+
+/// A positional column reference, optionally table-qualified (`t.c3`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColRef {
+    /// Qualifying table name, when written as `table.cN`.
+    pub table: Option<String>,
+    /// 0-based column index (the `N` of `cN`).
+    pub col: usize,
+}
+
+impl std::fmt::Display for ColRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.c{}", self.col),
+            None => write!(f, "c{}", self.col),
+        }
+    }
+}
+
+/// Comparison operators accepted in predicates (`≠` is deliberately
+/// excluded: it has no single-interval lowering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl std::fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        })
+    }
+}
+
+/// One conjunct of the `WHERE` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cond {
+    /// `col op value`.
+    Cmp {
+        /// Constrained column.
+        col: ColRef,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right-hand literal.
+        value: f64,
+    },
+    /// `col BETWEEN lo AND hi` (inclusive on both ends).
+    Between {
+        /// Constrained column.
+        col: ColRef,
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Inclusive upper bound.
+        hi: f64,
+    },
+}
+
+impl Cond {
+    /// The column this conjunct constrains.
+    pub fn col(&self) -> &ColRef {
+        match self {
+            Cond::Cmp { col, .. } => col,
+            Cond::Between { col, .. } => col,
+        }
+    }
+}
+
+impl std::fmt::Display for Cond {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Cond::Cmp { col, op, value } => write!(f, "{col} {op} {value}"),
+            Cond::Between { col, lo, hi } => write!(f, "{col} BETWEEN {lo} AND {hi}"),
+        }
+    }
+}
+
+/// One `JOIN <table> ON <left> = <right>` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    /// Joined table name.
+    pub table: String,
+    /// Left side of the equi-join condition.
+    pub left: ColRef,
+    /// Right side of the equi-join condition.
+    pub right: ColRef,
+}
+
+impl std::fmt::Display for JoinClause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JOIN {} ON {} = {}", self.table, self.left, self.right)
+    }
+}
+
+/// A parsed `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    /// Requested aggregate.
+    pub agg: Agg,
+    /// `FROM` table name.
+    pub table: String,
+    /// `JOIN` clauses, in statement order.
+    pub joins: Vec<JoinClause>,
+    /// `WHERE` conjuncts, in statement order.
+    pub conds: Vec<Cond>,
+}
+
+impl std::fmt::Display for Select {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.agg {
+            Agg::CountStar => write!(f, "SELECT COUNT(*)")?,
+            Agg::Sum(c) => write!(f, "SELECT SUM({c})")?,
+            Agg::Avg(c) => write!(f, "SELECT AVG({c})")?,
+        }
+        write!(f, " FROM {}", self.table)?;
+        for j in &self.joins {
+            write!(f, " {j}")?;
+        }
+        for (i, c) in self.conds.iter().enumerate() {
+            write!(f, " {} {c}", if i == 0 { "WHERE" } else { "AND" })?;
+        }
+        Ok(())
+    }
+}
+
+/// A complete parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// Execute the aggregate.
+    Select(Select),
+    /// Explain the join-order plan instead of executing.
+    Explain(Select),
+}
+
+impl std::fmt::Display for Statement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Statement::Select(s) => write!(f, "{s}"),
+            Statement::Explain(s) => write!(f, "EXPLAIN {s}"),
+        }
+    }
+}
+
+/// Parse one SQL statement. Panic-free on arbitrary input.
+pub fn parse(input: &str) -> Result<Statement, SqlError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let explain = p.accept_kw("EXPLAIN");
+    let sel = p.select()?;
+    let _ = p.accept(&Token::Semi);
+    if let Some((t, off)) = p.peek_at() {
+        return Err(SqlError::new(format!("trailing input at byte {off}: {t}")));
+    }
+    Ok(if explain { Statement::Explain(sel) } else { Statement::Select(sel) })
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek_at(&self) -> Option<&(Token, usize)> {
+        self.tokens.get(self.pos)
+    }
+
+    fn err_here(&self, expected: &str) -> SqlError {
+        match self.peek_at() {
+            Some((t, off)) => SqlError::new(format!("expected {expected} at byte {off}, got {t}")),
+            None => SqlError::new(format!("expected {expected}, got end of statement")),
+        }
+    }
+
+    /// Consume the next token if it equals `want`.
+    fn accept(&mut self, want: &Token) -> bool {
+        if matches!(self.peek_at(), Some((t, _)) if t == want) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn require(&mut self, want: &Token, what: &str) -> Result<(), SqlError> {
+        if self.accept(want) {
+            Ok(())
+        } else {
+            Err(self.err_here(what))
+        }
+    }
+
+    /// Consume the next token if it is `kw` (case-insensitive ident).
+    fn accept_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek_at(), Some((Token::Ident(s), _)) if s.eq_ignore_ascii_case(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn require_kw(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.accept_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err_here(kw))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, SqlError> {
+        match self.peek_at() {
+            Some((Token::Ident(s), _)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.err_here(what)),
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, SqlError> {
+        match self.peek_at() {
+            Some((Token::Number(v), _)) => {
+                let v = *v;
+                self.pos += 1;
+                Ok(v)
+            }
+            _ => Err(self.err_here("a number")),
+        }
+    }
+
+    fn select(&mut self) -> Result<Select, SqlError> {
+        self.require_kw("SELECT")?;
+        let agg = self.agg()?;
+        self.require_kw("FROM")?;
+        let table = self.ident("a table name after FROM")?;
+        let mut joins = Vec::new();
+        while self.accept_kw("JOIN") {
+            let t = self.ident("a table name after JOIN")?;
+            self.require_kw("ON")?;
+            let left = self.colref()?;
+            self.require(&Token::Eq, "= in the join condition")?;
+            let right = self.colref()?;
+            joins.push(JoinClause { table: t, left, right });
+        }
+        let mut conds = Vec::new();
+        if self.accept_kw("WHERE") {
+            conds.push(self.cond()?);
+            while self.accept_kw("AND") {
+                conds.push(self.cond()?);
+            }
+        }
+        Ok(Select { agg, table, joins, conds })
+    }
+
+    fn agg(&mut self) -> Result<Agg, SqlError> {
+        if self.accept_kw("COUNT") {
+            self.require(&Token::LParen, "( after COUNT")?;
+            self.require(&Token::Star, "* inside COUNT()")?;
+            self.require(&Token::RParen, ") after COUNT(*")?;
+            Ok(Agg::CountStar)
+        } else if self.accept_kw("SUM") {
+            self.require(&Token::LParen, "( after SUM")?;
+            let c = self.colref()?;
+            self.require(&Token::RParen, ") after the SUM column")?;
+            Ok(Agg::Sum(c))
+        } else if self.accept_kw("AVG") {
+            self.require(&Token::LParen, "( after AVG")?;
+            let c = self.colref()?;
+            self.require(&Token::RParen, ") after the AVG column")?;
+            Ok(Agg::Avg(c))
+        } else {
+            Err(self.err_here("COUNT(*), SUM(col), or AVG(col)"))
+        }
+    }
+
+    fn colref(&mut self) -> Result<ColRef, SqlError> {
+        let first = self.ident("a column reference (cN or table.cN)")?;
+        if self.accept(&Token::Dot) {
+            let col_name = self.ident("a column (cN) after the table qualifier")?;
+            let col = parse_col_index(&col_name)
+                .ok_or_else(|| SqlError::new(format!("bad column reference {col_name:?}")))?;
+            Ok(ColRef { table: Some(first), col })
+        } else {
+            let col = parse_col_index(&first)
+                .ok_or_else(|| SqlError::new(format!("bad column reference {first:?}")))?;
+            Ok(ColRef { table: None, col })
+        }
+    }
+
+    fn cond(&mut self) -> Result<Cond, SqlError> {
+        let col = self.colref()?;
+        if self.accept_kw("BETWEEN") {
+            let lo = self.number()?;
+            self.require_kw("AND")?;
+            let hi = self.number()?;
+            return Ok(Cond::Between { col, lo, hi });
+        }
+        let op = match self.peek_at() {
+            Some((Token::Eq, _)) => CmpOp::Eq,
+            Some((Token::Lt, _)) => CmpOp::Lt,
+            Some((Token::Le, _)) => CmpOp::Le,
+            Some((Token::Gt, _)) => CmpOp::Gt,
+            Some((Token::Ge, _)) => CmpOp::Ge,
+            _ => return Err(self.err_here("a comparison operator or BETWEEN")),
+        };
+        self.pos += 1;
+        let value = self.number()?;
+        Ok(Cond::Cmp { col, op, value })
+    }
+}
+
+/// Parse a positional column name `cN` into its index.
+fn parse_col_index(name: &str) -> Option<usize> {
+    let digits = name.strip_prefix('c').or_else(|| name.strip_prefix('C'))?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_count_star_with_conjuncts() {
+        let s = parse("SELECT COUNT(*) FROM twi WHERE c0 = 3 AND c1 BETWEEN 2.5 AND 9").unwrap();
+        let Statement::Select(sel) = s else { panic!("not a select") };
+        assert_eq!(sel.agg, Agg::CountStar);
+        assert_eq!(sel.table, "twi");
+        assert_eq!(sel.conds.len(), 2);
+        assert_eq!(
+            sel.conds[1],
+            Cond::Between { col: ColRef { table: None, col: 1 }, lo: 2.5, hi: 9.0 }
+        );
+    }
+
+    #[test]
+    fn parses_explain_with_joins() {
+        let s = parse(
+            "explain select count(*) from hub join d0 on hub.c0 = d0.c0 \
+             join d1 on hub.c1 = d1.c0 where d0.c1 <= 5",
+        )
+        .unwrap();
+        let Statement::Explain(sel) = s else { panic!("not an explain") };
+        assert_eq!(sel.joins.len(), 2);
+        assert_eq!(sel.joins[1].table, "d1");
+        assert_eq!(sel.conds[0].col(), &ColRef { table: Some("d0".into()), col: 1 });
+    }
+
+    #[test]
+    fn display_round_trips_to_the_same_ast() {
+        for text in [
+            "SELECT COUNT(*) FROM t",
+            "SELECT SUM(c1) FROM t WHERE c0 = 3",
+            "SELECT AVG(c2) FROM t WHERE c2 >= -1.5 AND c0 BETWEEN 0 AND 2",
+            "EXPLAIN SELECT COUNT(*) FROM hub JOIN d0 ON hub.c0 = d0.c0 WHERE d0.c1 < 7",
+        ] {
+            let ast = parse(text).unwrap();
+            let rendered = ast.to_string();
+            let back = parse(&rendered).unwrap();
+            assert_eq!(back, ast, "{text} → {rendered}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_statements() {
+        for bad in [
+            "",
+            "SELECT",
+            "SELECT COUNT(*)",
+            "SELECT COUNT(*) FROM",
+            "SELECT MAX(c0) FROM t",
+            "SELECT COUNT(c0) FROM t",
+            "SELECT COUNT(*) FROM t WHERE",
+            "SELECT COUNT(*) FROM t WHERE c0",
+            "SELECT COUNT(*) FROM t WHERE c0 = ",
+            "SELECT COUNT(*) FROM t WHERE c0 != 3",
+            "SELECT COUNT(*) FROM t WHERE x = 3",
+            "SELECT COUNT(*) FROM t WHERE c0 BETWEEN 1",
+            "SELECT COUNT(*) FROM t WHERE c0 BETWEEN 1 AND",
+            "SELECT COUNT(*) FROM t JOIN ON c0 = c1",
+            "SELECT COUNT(*) FROM t extra garbage",
+            "SELECT COUNT(*) FROM t; SELECT COUNT(*) FROM t",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn semicolon_and_case_are_tolerated() {
+        assert!(parse("select count(*) from t;").is_ok());
+        assert!(parse("SeLeCt AvG(C3) FrOm T wHeRe C3 > 0").is_ok());
+    }
+}
