@@ -341,6 +341,27 @@ mod tests {
     }
 
     #[test]
+    fn fused_forward_flags_adhoc_quantized_table_access() {
+        // touching quantized storage outside the accumulate/build choke
+        // points bypasses the canonical summation order
+        let src = "fn sneaky_read(t: &SlotTable, tok: usize) -> f32 {\n    match t {\n        SlotTable::Int8 { q, scale, zero } => zero[tok] + scale[tok] * q[tok] as f32,\n        _ => 0.0,\n    }\n}\n";
+        let r = lint_source("crates/nn/src/made.rs", src);
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert!(r.findings[0].message.contains("choke point"));
+        // the same code in any other file is out of the rule's scope
+        assert!(lint_source("crates/core/src/infer.rs", src).findings.is_empty());
+    }
+
+    #[test]
+    fn fused_forward_allows_quantized_choke_points() {
+        // the dequantize-on-accumulate kernel, quantize/build helpers, and
+        // type declarations are the sanctioned surface
+        let ok = "enum SlotTable {\n    F16(Vec<u16>),\n    Int8 { q: Vec<u8>, scale: Vec<f32>, zero: Vec<f32> },\n}\nfn accumulate_row(t: &SlotTable) {\n    if let SlotTable::F16(v) = t { let _ = f16_bits_to_f32(v[0]); }\n}\nfn quantize_slot() -> SlotTable {\n    SlotTable::F16(vec![f32_to_f16_bits(0.0)])\n}\n";
+        let r = lint_source("crates/nn/src/made.rs", ok);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
     fn obs_handle_cache_allows_constructors_and_waivers() {
         // cold constructor: no loop, no span — the cached-handle pattern
         let cold = "fn new(reg: &Registry) -> Probes {\n    Probes { hits: reg.counter(\"iam_hits_total\", &[]) }\n}\n";

@@ -266,7 +266,11 @@ impl IamEstimator {
 }
 
 /// Draw an index from an unnormalised weight slice, folding the mass into
-/// the running importance weight.
+/// the running importance weight. Zero-weight entries are unpickable
+/// (matching `infer::pick_in_window`): prefix-table mass vectors carry
+/// exact `0.0` entries clamped from tiny-negative CDF differences, and a
+/// boundary draw (`u == 0.0`) or a round-off fallback must never land on
+/// one — that would condition every later slot on an impossible prefix.
 fn draw(weighted: &[f64], weight: &mut f64, rng: &mut StdRng) -> Option<usize> {
     let mass: f64 = weighted.iter().sum();
     if mass <= 0.0 {
@@ -276,13 +280,17 @@ fn draw(weighted: &[f64], weight: &mut f64, rng: &mut StdRng) -> Option<usize> {
     *weight *= mass.min(1.0);
     let u = rng.random::<f64>() * mass;
     let mut acc = 0.0;
+    let mut last_nonzero = None;
     for (j, &p) in weighted.iter().enumerate() {
-        acc += p;
-        if u <= acc {
-            return Some(j);
+        if p > 0.0 {
+            acc += p;
+            last_nonzero = Some(j);
+            if u <= acc {
+                return Some(j);
+            }
         }
     }
-    Some(weighted.len() - 1)
+    last_nonzero
 }
 
 #[cfg(test)]
@@ -293,6 +301,24 @@ mod tests {
     use iam_data::query::{Op, Predicate, Query};
     use iam_data::Table;
     use rand::SeedableRng;
+
+    #[test]
+    fn draw_never_picks_a_zero_weight_index() {
+        // zero entries (including exact 0.0 from clamped prefix-table
+        // differences) must be unpickable for every draw, and the
+        // round-off fallback must land on the last NONZERO entry rather
+        // than the window's last index
+        let weighted = vec![0.0f64, 0.3, 0.0, 0.7, 0.0];
+        for seed in 0..300 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut w = 1.0;
+            let v = draw(&weighted, &mut w, &mut rng).unwrap();
+            assert!(weighted[v] > 0.0, "seed {seed} picked zero-weight index {v}");
+        }
+        let mut w = 1.0;
+        assert!(draw(&[0.0, 0.0], &mut w, &mut StdRng::seed_from_u64(1)).is_none());
+        assert_eq!(w, 0.0);
+    }
 
     fn table(n: usize, seed: u64) -> Table {
         let mut rng = StdRng::seed_from_u64(seed);

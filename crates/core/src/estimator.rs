@@ -107,12 +107,17 @@ impl IamEstimator {
     /// (Re)build inference-only acceleration state: when
     /// [`IamConfig::fused_layer1`] is on, precompute the per-(slot, token)
     /// embedding→layer-1 contribution tables used by the fused forward
-    /// path. Called automatically after training and after loading a
-    /// persisted model; harmless to call again. Estimates are bitwise
-    /// identical with or without the tables.
+    /// path, at [`IamConfig::table_precision`]. Called automatically after
+    /// training and after loading a persisted model; harmless to call
+    /// again. At the default `F32` precision estimates are bitwise
+    /// identical with or without the tables; `F16`/`Int8` trade a
+    /// bench-gated q-error delta for table size and speed. Because tables
+    /// are always quantized from a fresh f32 build, the golden f32 path
+    /// can always be rebuilt here — quantization never loses the source
+    /// parameters.
     pub fn prepare_inference(&mut self) {
         let bytes = if self.cfg.fused_layer1 {
-            let tables = self.net.build_fused_tables();
+            let tables = self.net.build_fused_tables_with(self.cfg.table_precision);
             let bytes = tables.size_bytes();
             self.fused = Some(tables);
             bytes
@@ -125,10 +130,26 @@ impl IamEstimator {
 
     /// Toggle the fused embedding→layer-1 inference path at runtime
     /// (rebuilds or drops the token tables immediately). A pure
-    /// speed/memory trade-off: estimates never change.
+    /// speed/memory trade-off: estimates never change (tables are rebuilt
+    /// at the configured precision; the default `F32` is bit-exact).
     pub fn set_fused_layer1(&mut self, on: bool) {
         self.cfg.fused_layer1 = on;
         self.prepare_inference();
+    }
+
+    /// Switch the fused-table storage precision at runtime and rebuild
+    /// the tables immediately. `TablePrecision::F32` always restores the
+    /// golden bit-exact path — quantization is applied to a fresh f32
+    /// build on every rebuild, so no precision round-trip can degrade it.
+    pub fn set_table_precision(&mut self, precision: crate::config::TablePrecision) {
+        self.cfg.table_precision = precision;
+        self.prepare_inference();
+    }
+
+    /// The storage precision of the live fused tables (`None` when the
+    /// fused path is off).
+    pub fn table_precision(&self) -> Option<crate::config::TablePrecision> {
+        self.fused.as_ref().map(|t| t.precision())
     }
 
     /// Rebuild an estimator from persisted parts (see `persist`): the
@@ -493,6 +514,33 @@ mod tests {
         for (i, rq) in rqs.iter().enumerate() {
             let solo = est.estimate_batch_shared(std::slice::from_ref(rq), 1)[0];
             assert_eq!(solo.to_bits(), seq[i].to_bits(), "query {i} batch-dependent");
+        }
+    }
+
+    #[test]
+    fn quantized_precisions_stay_close_and_f32_restores_golden_bits() {
+        use crate::config::TablePrecision;
+        let t = corr_table(3000, 14);
+        let mut est = IamEstimator::fit(&t, quick_cfg());
+        let mut gen = WorkloadGenerator::new(&t, WorkloadConfig::default(), 31);
+        let rqs: Vec<RangeQuery> =
+            gen.gen_queries(10).iter().map(|q| q.normalize(2).unwrap().0).collect();
+        assert_eq!(est.table_precision(), Some(TablePrecision::F32));
+        let golden = est.estimate_batch_shared(&rqs, 1);
+        for prec in [TablePrecision::F16, TablePrecision::Int8] {
+            est.set_table_precision(prec);
+            assert_eq!(est.table_precision(), Some(prec));
+            let got = est.estimate_batch_shared(&rqs, 1);
+            for (i, (g, q)) in golden.iter().zip(&got).enumerate() {
+                let qerr = iam_data::q_error(*g, *q, t.nrows());
+                assert!(qerr < 1.5, "{prec:?} query {i}: {g} vs {q} (q-error {qerr})");
+            }
+        }
+        // the f32 golden path is always rebuildable, bit for bit
+        est.set_table_precision(TablePrecision::F32);
+        let back = est.estimate_batch_shared(&rqs, 1);
+        for (a, b) in golden.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits(), "f32 rebuild lost golden bits");
         }
     }
 

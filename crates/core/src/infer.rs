@@ -31,6 +31,59 @@ use rand::{RngExt, SeedableRng};
 use std::collections::HashMap;
 use std::sync::Mutex;
 
+/// Multiply-xor hasher for the prefix-group intern map: the keys are
+/// packed `(group id, token)` words (trusted data, no DoS surface), where
+/// SipHash's per-call overhead dominates the whole dedup pass. Hash
+/// quality only affects bucket collisions — group identity comes from
+/// full `Eq` on the keys, and first-encounter order comes from the row
+/// iteration order, so the hasher choice cannot change results.
+#[derive(Default)]
+struct PrefixHasher(u64);
+
+impl std::hash::Hasher for PrefixHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.0 = (self.0 ^ i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        // one multiply per key — the hot path for the packed u64 keys
+        self.0 = (self.0 ^ i).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // finalizing xor-shift: the multiply alone leaves the low bits
+        // weak, and HashMap indexes with the high seven + low bits
+        let h = self.0;
+        h ^ (h >> 29)
+    }
+}
+
+type PrefixBuildHasher = std::hash::BuildHasherDefault<PrefixHasher>;
+
+/// Hoisted sampling state for one (query, unique-prefix) pair at one slot
+/// step of the batched sampling pass in [`estimate_batch_seeded_into`].
+#[derive(Debug, Clone, Copy)]
+enum Hoisted {
+    /// One-token window at the index (`sample_point` fast path).
+    Point(usize),
+    /// Multi-token window starting at `a`, with its mass and a
+    /// precomputed `pick_in_window` accumulator at `cum[start..start+len]`
+    /// (`last` is the fallback last-nonzero offset within the window).
+    Window { a: usize, mass: f64, start: usize, len: usize, last: Option<usize> },
+    /// Empty FactorLo window: kills the sample without drawing.
+    Dead,
+}
+
 /// Reusable per-worker buffers for progressive-sampling runs: the network
 /// scratch plus every gather/dedup/softmax buffer of the slot loop. One
 /// scratch serves one [`estimate_batch_seeded_into`] call at a time;
@@ -48,6 +101,13 @@ pub struct QueryScratch {
     probs: Vec<f32>,
     probs_all: Vec<f32>,
     weighted: Vec<f64>,
+    cum: Vec<f64>,
+    stamp: Vec<u32>,
+    hoisted: Vec<Hoisted>,
+    group: Vec<u32>,
+    intern: HashMap<u64, u32, PrefixBuildHasher>,
+    id_seen: Vec<u32>,
+    id_uniq: Vec<u32>,
 }
 
 impl QueryScratch {
@@ -147,6 +207,17 @@ pub fn estimate_batch_seeded(
 /// single forward row. Deduplication never changes results: the forward
 /// kernels are batch-position invariant and a row's logits depend only on
 /// its own inputs.
+///
+/// The softmax + weighted-sampling step is likewise batched across the
+/// prefix-deduped row set: per-window mass sums and cumulative-pick
+/// accumulators are computed once per (query, unique prefix) with the
+/// reference samplers' exact sequential arithmetic, so estimates are
+/// bitwise identical to the per-row formulation. The RNG draw order is
+/// pinned — rows in `gather_rows` order, one `f64` draw per surviving
+/// row from its own query's stream — with one exception: at a query's
+/// *last* constrained slot the sampled token and the remainder of its
+/// stream are never read again, so the draw and pick are skipped and only
+/// the (identical) mass factor is applied.
 #[allow(clippy::too_many_arguments)]
 pub fn estimate_batch_seeded_into(
     net: &MadeNet,
@@ -183,6 +254,13 @@ pub fn estimate_batch_seeded_into(
         probs,
         probs_all,
         weighted,
+        cum,
+        stamp,
+        hoisted,
+        group,
+        intern,
+        id_seen,
+        id_uniq,
     } = scratch;
 
     // sample state: all slots start at their MASK token
@@ -195,6 +273,22 @@ pub fn estimate_batch_seeded_into(
     }
     p_hat.clear();
     p_hat.resize(rows, 1.0);
+
+    // Incremental prefix-group ids: `group[row]` identifies the row's
+    // sampled prefix — two rows carry the same id iff their `inputs`
+    // prefixes are equal. All rows start in group 0 (the all-MASK prefix);
+    // when a row picks token `v` at a slot it moves to the id interned for
+    // `(old group, v)`, while unpicked rows keep their id (their prefix
+    // gained only MASKs, which preserves pairwise equality — ids are never
+    // reused, so an id always denotes one prefix). This turns per-slot
+    // dedup from an O(prefix-length) slice hash per row into two O(1)
+    // array reads.
+    group.clear();
+    group.resize(rows, 0);
+    let mut next_id: u32 = 1;
+    id_seen.clear();
+    id_uniq.clear();
+    let mut slot_gen: u32 = 0;
 
     // local accounting, flushed to the registry once per batch
     let mut forward_rows = 0u64;
@@ -225,21 +319,25 @@ pub fn estimate_batch_seeded_into(
         // its sampled prefix (every slot ≥ `slot` is still MASK for every
         // row), so rows sharing a prefix share one forward. At early slots
         // few distinct prefixes exist — slot 0 always collapses to ONE
-        // all-MASK row for the whole chunk.
+        // all-MASK row for the whole chunk. Prefix identity is the
+        // incrementally maintained `group` id, so grouping is two array
+        // reads per row; `id_seen[g]` stamps the slot generation that
+        // first met id `g`, making the per-slot reset O(new ids).
         let nuniq = {
             let _dspan = iam_obs::span!("infer.prefix_dedup");
             unique_of.clear();
             gather_inputs.clear();
-            let mut first_of: HashMap<&[usize], u32> =
-                HashMap::with_capacity(gather_rows.len().min(1024));
+            slot_gen += 1;
+            id_seen.resize(next_id as usize, 0);
+            id_uniq.resize(next_id as usize, 0);
             for &row in gather_rows.iter() {
-                let key = &inputs[row * nslots..row * nslots + slot];
-                let u = *first_of.entry(key).or_insert_with(|| {
-                    let next = (gather_inputs.len() / nslots) as u32;
+                let g = group[row] as usize;
+                if id_seen[g] != slot_gen {
+                    id_seen[g] = slot_gen;
+                    id_uniq[g] = (gather_inputs.len() / nslots) as u32;
                     gather_inputs.extend_from_slice(&inputs[row * nslots..(row + 1) * nslots]);
-                    next
-                });
-                unique_of.push(u);
+                }
+                unique_of.push(id_uniq[g]);
             }
             gather_inputs.len() / nslots
         };
@@ -264,45 +362,162 @@ pub fn estimate_batch_seeded_into(
             probs_all.extend_from_slice(probs);
         }
 
+        // Batched softmax-sampling pass. `gather_rows` is ordered by
+        // (query, sample index), so a query's rows are contiguous, and a
+        // row's sampling window — its mass sum and `pick_in_window`
+        // accumulator — depends only on (query, unique prefix `u`): the
+        // constraint comes from the query's plan, and even the FactorLo
+        // window bounds derive from the prefix's hi-slot token, which is
+        // part of the deduped unique row. So the O(width) mass/cumulative
+        // work is hoisted to once per (query, u) — computed with the
+        // exact sequential arithmetic of `sample_range`/`sample_weighted`,
+        // hence bitwise identical — and the per-row loop only draws and
+        // scans precomputed accumulators.
+        //
+        // RNG draw order is pinned: rows are visited in `gather_rows`
+        // order and each surviving row draws exactly one `f64` from its
+        // query's stream (zero-mass and empty-window rows draw nothing),
+        // exactly as the unbatched per-row path did.
+        // per-(query, unique-prefix) hoisted state, directly indexed by the
+        // unique id `u` — no hashing in the per-row loop. `stamp[u]` holds
+        // the epoch (query ordinal within this slot) that last wrote
+        // `hoisted[u]`; bumping the epoch on a query change invalidates
+        // every entry in O(1), because rows arrive grouped by query.
+        stamp.clear();
+        stamp.resize(nuniq, 0);
+        hoisted.clear();
+        hoisted.resize(nuniq, Hoisted::Dead);
+        cum.clear();
+        intern.clear(); // fresh (group, token) interning per slot
+        let mut epoch = 0u32;
+        let mut cur_li = usize::MAX;
+        let mut terminal = false;
         for (gi, &row) in gather_rows.iter().enumerate() {
             let li = row / sp;
+            if li != cur_li {
+                // next query: its plan differs, so hoisted state resets
+                cur_li = li;
+                epoch += 1;
+                cum.clear();
+                // a query's last constrained slot: the sampled token and
+                // the rest of its RNG stream are never read again
+                let plan = plans[live[li]].as_ref().expect("live query has a plan");
+                terminal = plan[slot + 1..].iter().all(|c| *c == SlotConstraint::Wildcard);
+            }
             let q = live[li];
             let rng = &mut rngs[li];
             let plan = plans[q].as_ref().expect("live query has a plan");
             let u = unique_of[gi] as usize;
             let probs = &probs_all[u * width..(u + 1) * width];
-            let picked = match &plan[slot] {
-                SlotConstraint::Wildcard => unreachable!("wildcards were filtered"),
-                SlotConstraint::Range(a, b) if a == b => {
-                    sample_point(probs, *a, &mut p_hat[row], rng)
+            if stamp[u] != epoch {
+                stamp[u] = epoch;
+                hoisted[u] = match &plan[slot] {
+                    SlotConstraint::Wildcard => unreachable!("wildcards were filtered"),
+                    SlotConstraint::Range(a, b) if a == b => Hoisted::Point(*a),
+                    SlotConstraint::Range(a, b) => {
+                        // identical expression to sample_range's mass
+                        let mass: f64 = probs[*a..=*b].iter().map(|&p| p as f64).sum();
+                        let (start, len, last) =
+                            push_cum(cum, probs[*a..=*b].iter().map(|&p| p as f64));
+                        Hoisted::Window { a: *a, mass, start, len, last }
+                    }
+                    SlotConstraint::Weights(w) => {
+                        debug_assert_eq!(w.len(), width);
+                        weighted.clear();
+                        weighted.extend(probs.iter().zip(w).map(|(&p, &m)| p as f64 * m));
+                        crate::invariant::check_mass_vector(
+                            weighted,
+                            "bias-corrected slot weights",
+                        );
+                        let mass: f64 = weighted.iter().sum();
+                        let (start, len, last) = push_cum(cum, weighted.iter().copied());
+                        Hoisted::Window { a: 0, mass, start, len, last }
+                    }
+                    SlotConstraint::FactorLo { lo_idx, hi_idx, base } => {
+                        // the hi slot precedes this one, so its sampled
+                        // token is part of the unique prefix row
+                        let hi_sampled = gather_inputs[u * nslots + slot - 1];
+                        let first_block = lo_idx / base;
+                        let last_block = hi_idx / base;
+                        let a = if hi_sampled == first_block { lo_idx % base } else { 0 };
+                        let b = if hi_sampled == last_block { hi_idx % base } else { base - 1 };
+                        let b = b.min(width - 1);
+                        if a > b {
+                            Hoisted::Dead
+                        } else if a == b {
+                            Hoisted::Point(a)
+                        } else {
+                            let mass: f64 = probs[a..=b].iter().map(|&p| p as f64).sum();
+                            let (start, len, last) =
+                                push_cum(cum, probs[a..=b].iter().map(|&p| p as f64));
+                            Hoisted::Window { a, mass, start, len, last }
+                        }
+                    }
+                };
+            }
+            if terminal {
+                // Mass-only fast path for the query's final constrained
+                // slot: p̂ updates are the reference arms' exact
+                // expressions, and the skipped draw/pick/intern work is
+                // observable only through this query's own later slots
+                // and RNG stream — of which there are none.
+                match hoisted[u] {
+                    Hoisted::Dead => p_hat[row] = 0.0,
+                    Hoisted::Point(a) => {
+                        let mass = probs[a] as f64;
+                        if mass <= 0.0 {
+                            p_hat[row] = 0.0;
+                        } else {
+                            p_hat[row] *= mass.min(1.0);
+                        }
+                    }
+                    Hoisted::Window { mass, .. } => {
+                        if mass <= 0.0 {
+                            p_hat[row] = 0.0;
+                        } else {
+                            p_hat[row] *= mass.min(1.0);
+                        }
+                    }
                 }
-                SlotConstraint::Range(a, b) => sample_range(probs, *a, *b, &mut p_hat[row], rng),
-                SlotConstraint::Weights(w) => {
-                    debug_assert_eq!(w.len(), width);
-                    weighted.clear();
-                    weighted.extend(probs.iter().zip(w).map(|(&p, &m)| p as f64 * m));
-                    crate::invariant::check_mass_vector(weighted, "bias-corrected slot weights");
-                    sample_weighted(weighted, &mut p_hat[row], rng)
+                continue;
+            }
+            let picked = match hoisted[u] {
+                Hoisted::Dead => {
+                    p_hat[row] = 0.0;
+                    None
                 }
-                SlotConstraint::FactorLo { lo_idx, hi_idx, base } => {
-                    let hi_sampled = inputs[row * nslots + slot - 1];
-                    let first_block = lo_idx / base;
-                    let last_block = hi_idx / base;
-                    let a = if hi_sampled == first_block { lo_idx % base } else { 0 };
-                    let b = if hi_sampled == last_block { hi_idx % base } else { base - 1 };
-                    let b = b.min(width - 1);
-                    if a > b {
+                Hoisted::Point(a) => sample_point(probs, a, &mut p_hat[row], rng),
+                Hoisted::Window { a, mass, start, len, last } => {
+                    if mass <= 0.0 {
                         p_hat[row] = 0.0;
                         None
-                    } else if a == b {
-                        sample_point(probs, a, &mut p_hat[row], rng)
                     } else {
-                        sample_range(probs, a, b, &mut p_hat[row], rng)
+                        p_hat[row] *= mass.min(1.0);
+                        let draw = rng.random::<f64>() * mass;
+                        // precomputed pick_in_window walk: `cum[j]` is the
+                        // running sum after entry j (NaN at zero-mass
+                        // entries, which therefore never satisfy `<=`)
+                        let mut pick = last;
+                        for (j, &c) in cum[start..start + len].iter().enumerate() {
+                            if draw <= c {
+                                pick = Some(j);
+                                break;
+                            }
+                        }
+                        pick.map(|j| a + j)
                     }
                 }
             };
             if let Some(v) = picked {
                 inputs[row * nslots + slot] = v;
+                // refine the row's prefix-group id: rows picking the same
+                // token out of the same group stay together
+                let key = ((group[row] as u64) << 32) | v as u64;
+                group[row] = *intern.entry(key).or_insert_with(|| {
+                    let id = next_id;
+                    next_id += 1;
+                    id
+                });
             }
         }
     }
@@ -414,6 +629,34 @@ pub fn estimate_batch_parallel(
     results
 }
 
+/// Append one window's `pick_in_window` accumulator to `arena`: entry `j`
+/// holds the running sum after including window value `j`, computed with
+/// the same skip-zeros sequential adds as [`pick_in_window`] — so a scan
+/// for the first `draw <= cum[j]` returns exactly the index the walk
+/// would. Zero-mass entries store NaN (every `<=` against NaN is false,
+/// so they can never be picked), and the returned fallback mirrors the
+/// walk's last-nonzero index. Returns `(start, len, last_nonzero)`.
+fn push_cum(
+    arena: &mut Vec<f64>,
+    window: impl Iterator<Item = f64>,
+) -> (usize, usize, Option<usize>) {
+    let start = arena.len();
+    let mut acc = 0.0f64;
+    let mut last = None;
+    let mut len = 0usize;
+    for (j, p) in window.enumerate() {
+        if p > 0.0 {
+            acc += p;
+            last = Some(j);
+            arena.push(acc);
+        } else {
+            arena.push(f64::NAN);
+        }
+        len += 1;
+    }
+    (start, len, last)
+}
+
 /// Walk a probability window's running sum and return the first index at
 /// which the cumulative mass reaches `u`, never returning a zero-mass
 /// index. Zero entries are skipped outright (adding `0.0` to the
@@ -442,6 +685,13 @@ fn pick_in_window(window: impl Iterator<Item = f64>, u: f64) -> Option<usize> {
 
 /// Renormalise `probs` over `[a, b]`, fold the mass into `p_hat` and draw an
 /// index. Returns `None` (and kills the sample) on zero mass.
+///
+/// Reference implementation: the batched sampling pass in
+/// [`estimate_batch_seeded_into`] hoists this window's mass sum and
+/// cumulative walk per (query, unique prefix) via [`push_cum`] and must
+/// stay bitwise-equivalent — the equivalence tests below compare against
+/// this function.
+#[cfg_attr(not(test), allow(dead_code))]
 fn sample_range(
     probs: &[f32],
     a: usize,
@@ -479,6 +729,8 @@ fn sample_point(probs: &[f32], a: usize, p_hat: &mut f64, rng: &mut StdRng) -> O
 }
 
 /// Same, but over an already bias-corrected weight vector (`p_AR × P̂_GMM`).
+/// Reference implementation for the batched pass, like [`sample_range`].
+#[cfg_attr(not(test), allow(dead_code))]
 fn sample_weighted(weighted: &[f64], p_hat: &mut f64, rng: &mut StdRng) -> Option<usize> {
     let mass: f64 = weighted.iter().sum();
     if mass <= 0.0 {
@@ -601,5 +853,102 @@ mod tests {
             let v = sample_weighted(&weighted, &mut p_hat, &mut rng).unwrap();
             assert!(weighted[v] > 0.0, "seed {seed} picked zero-weight index {v}");
         }
+    }
+
+    /// The batched pass's hoisted pick: mass + `push_cum` once, then the
+    /// per-row scan — mirrors the Window arm of the batched sampler.
+    fn hoisted_pick(window: &[f64], p_hat: &mut f64, rng: &mut StdRng) -> Option<usize> {
+        let mass: f64 = window.iter().sum();
+        let mut cum = Vec::new();
+        let (start, len, last) = push_cum(&mut cum, window.iter().copied());
+        if mass <= 0.0 {
+            *p_hat = 0.0;
+            return None;
+        }
+        *p_hat *= mass.min(1.0);
+        let draw = rng.random::<f64>() * mass;
+        let mut pick = last;
+        for (j, &c) in cum[start..start + len].iter().enumerate() {
+            if draw <= c {
+                pick = Some(j);
+                break;
+            }
+        }
+        pick
+    }
+
+    #[test]
+    fn hoisted_pick_matches_reference_samplers_bitwise() {
+        // the batched sampling pass must reproduce sample_range /
+        // sample_weighted exactly: same pick, same p_hat bits, same RNG
+        // stream — including zero-mass windows, interior/trailing zeros,
+        // and the round-off fallback
+        let windows: Vec<Vec<f32>> = vec![
+            vec![0.1, 0.2, 0.3, 0.4],
+            vec![0.0, 0.3, 0.0, 0.7, 0.0],
+            vec![0.5, 0.0, 0.0, 0.5],
+            vec![0.0, 0.0, 0.0],
+            vec![1e-30, 0.0, 1e-38],
+        ];
+        for probs in &windows {
+            for seed in 0..200 {
+                let (mut r1, mut r2) = (StdRng::seed_from_u64(seed), StdRng::seed_from_u64(seed));
+                let (mut p1, mut p2) = (0.9f64, 0.9f64);
+                let b = probs.len() - 1;
+                let want = sample_range(probs, 0, b, &mut p1, &mut r1);
+                let w64: Vec<f64> = probs.iter().map(|&p| p as f64).collect();
+                let got = hoisted_pick(&w64, &mut p2, &mut r2);
+                assert_eq!(want, got, "pick diverged on {probs:?} seed {seed}");
+                assert_eq!(p1.to_bits(), p2.to_bits(), "p_hat diverged on {probs:?}");
+                assert_eq!(r1.random::<u64>(), r2.random::<u64>(), "RNG diverged on {probs:?}");
+            }
+        }
+        // weighted vectors take the same path
+        let weighted = vec![0.0f64, 1e-12, 0.0, 1e-300, 0.0];
+        for seed in 0..200 {
+            let (mut r1, mut r2) = (StdRng::seed_from_u64(seed), StdRng::seed_from_u64(seed));
+            let (mut p1, mut p2) = (1.0f64, 1.0f64);
+            let want = sample_weighted(&weighted, &mut p1, &mut r1);
+            let got = hoisted_pick(&weighted, &mut p2, &mut r2);
+            assert_eq!(want, got, "seed {seed}");
+            assert_eq!(p1.to_bits(), p2.to_bits());
+        }
+    }
+
+    #[test]
+    fn prefix_difference_clamped_zeros_are_never_selected() {
+        // regression (prefix-table fallout): a CDF prefix difference in a
+        // far tail can go tiny-negative from round-off before the
+        // `.max(0.0)` clamp, leaving *exact* 0.0 entries in the P̂_GMM
+        // mass vector. Those zeros must be unpickable under both the
+        // reference sampler and the batched hoisted pick, for boundary
+        // draws included.
+        let gmm =
+            iam_gmm::Gmm1d::new(vec![0.4, 0.3, 0.3], vec![-50.0, 0.0, 50.0], vec![0.5, 1.0, 0.5]);
+        let grid: Vec<f64> = (-60..=60).map(|v| v as f64).collect();
+        let table = iam_gmm::CdfPrefixTable::build(&gmm, &grid);
+        let mut mass = Vec::new();
+        // an interval deep in component 2's territory: components 0 and 1
+        // have (clamped) zero mass there
+        table.mass_into(49.0, 51.0, &mut mass);
+        assert_eq!(mass[0], 0.0, "far-tail mass must clamp to exactly 0.0");
+        assert!(mass[2] > 0.0);
+        // a plausible softmax row times that mass vector
+        let probs = [0.2f32, 0.5, 0.3];
+        let weighted: Vec<f64> = probs.iter().zip(&mass).map(|(&p, &m)| p as f64 * m).collect();
+        for seed in 0..500 {
+            let (mut r1, mut r2) = (StdRng::seed_from_u64(seed), StdRng::seed_from_u64(seed));
+            let (mut p1, mut p2) = (1.0f64, 1.0f64);
+            let want = sample_weighted(&weighted, &mut p1, &mut r1).unwrap();
+            let got = hoisted_pick(&weighted, &mut p2, &mut r2).unwrap();
+            assert_eq!(want, got, "seed {seed}");
+            assert!(weighted[want] > 0.0, "seed {seed} picked clamped-zero index {want}");
+        }
+        // boundary draws: u == 0.0 (first positive entry) and a draw past
+        // the full mass (fallback) must also avoid the zeros
+        let m: f64 = weighted.iter().sum();
+        assert!(weighted[pick_in_window(weighted.iter().copied(), 0.0).unwrap()] > 0.0);
+        let fb = pick_in_window(weighted.iter().copied(), m * (1.0 + 1e-9)).unwrap();
+        assert!(weighted[fb] > 0.0, "fallback landed on a clamped zero");
     }
 }

@@ -317,9 +317,14 @@ impl IamEstimator {
         }
 
         // network parameters, flat
+        let precision = self.cfg.table_precision;
         let mut flat: Vec<f32> = Vec::new();
         self.net_mut().visit_params(&mut |p, _| flat.extend_from_slice(p));
         w_vec_f32(w, &flat)?;
+        // fused-table precision: an OPTIONAL trailer byte after the flat
+        // params — pre-PR readers consumed exactly the fields above, and
+        // pre-PR payloads simply end here, which the loader treats as F32
+        w.write_all(&[precision.tag()])?;
         // net_mut invalidated the fused tables (it must assume mutation);
         // saving only read them, so rebuild right away
         self.prepare_inference();
@@ -452,6 +457,19 @@ impl IamEstimator {
         if flat.iter().any(|x| !x.is_finite()) {
             return Err(bad("non-finite network parameter"));
         }
+        // optional fused-table precision trailer: snapshots written before
+        // the precision knob end right after the flat params (EOF → F32);
+        // unknown tags are rejected, a short garbage byte is not silently
+        // reinterpreted
+        let mut cfg = cfg;
+        let mut trailer = [0u8; 1];
+        match r.read(&mut trailer)? {
+            0 => cfg.table_precision = crate::config::TablePrecision::F32,
+            _ => {
+                cfg.table_precision = crate::config::TablePrecision::from_tag(trailer[0])
+                    .ok_or(bad("bad table-precision tag"))?;
+            }
+        }
         let mut est = IamEstimator::from_parts(cfg, schema, nrows, &name)?;
         let mut cursor = 0usize;
         let mut overflow = false;
@@ -543,6 +561,33 @@ mod tests {
             seed: 17,
             ..IamConfig::default()
         }
+    }
+
+    #[test]
+    fn table_precision_round_trips_and_old_payloads_default_to_f32() {
+        use crate::config::TablePrecision;
+        let table = Dataset::Twi.generate(2500, 3);
+        let mut est = IamEstimator::fit(&table, cfg());
+        est.set_table_precision(TablePrecision::Int8);
+        let mut buf = Vec::new();
+        est.save(&mut buf).unwrap();
+        let loaded = IamEstimator::load(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.cfg.table_precision, TablePrecision::Int8);
+        assert_eq!(loaded.table_precision(), Some(TablePrecision::Int8));
+
+        // a payload without the trailer byte (the pre-precision format)
+        // must load as the F32 golden path
+        let legacy = &buf[..buf.len() - 1];
+        let loaded = IamEstimator::load(&mut &*legacy).unwrap();
+        assert_eq!(loaded.cfg.table_precision, TablePrecision::F32);
+
+        // unknown tags are rejected, not misread
+        let mut bad = buf.clone();
+        *bad.last_mut().unwrap() = 7;
+        assert!(matches!(
+            IamEstimator::load(&mut bad.as_slice()),
+            Err(PersistError::BadFormat("bad table-precision tag"))
+        ));
     }
 
     #[test]

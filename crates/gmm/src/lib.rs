@@ -18,10 +18,12 @@
 pub mod em;
 pub mod math;
 pub mod model;
+pub mod prefix;
 pub mod sgd;
 pub mod vbgm;
 
 pub use em::fit_em;
 pub use model::Gmm1d;
+pub use prefix::CdfPrefixTable;
 pub use sgd::{GmmSgdTrainer, SgdConfig};
 pub use vbgm::{fit_vbgm, VbgmConfig};

@@ -35,10 +35,24 @@ fn reduce_lanes(acc: [f32; LANES]) -> f32 {
 
 /// Lane-blocked dot product. The tail reuses the lane accumulators (lane
 /// `l` takes tail element `l`) so the result is a pure function of the
-/// element sequence, not of the caller.
+/// element sequence, not of the caller. Dispatches to the AVX2 variant
+/// when the CPU supports it — bitwise identical by construction (see
+/// [`simd`]).
 #[inline(always)]
 pub(crate) fn dot_lanes(w: &[f32], x: &[f32]) -> f32 {
     debug_assert_eq!(w.len(), x.len());
+    #[cfg(target_arch = "x86_64")]
+    if simd::enabled() {
+        // SAFETY: guarded by runtime AVX2 detection.
+        return unsafe { simd::dot_lanes_avx2(w, x) };
+    }
+    dot_lanes_scalar(w, x)
+}
+
+/// Portable scalar body of [`dot_lanes`]; also the reference the SIMD
+/// variant is tested against.
+#[inline(always)]
+fn dot_lanes_scalar(w: &[f32], x: &[f32]) -> f32 {
     let mut acc = [0.0f32; LANES];
     let mut i = 0;
     while i + LANES <= w.len() {
@@ -57,6 +71,17 @@ pub(crate) fn dot_lanes(w: &[f32], x: &[f32]) -> f32 {
 /// four [`dot_lanes`] calls — the row block only buys cache reuse.
 #[inline(always)]
 fn dot4_lanes(w: &[f32], x: [&[f32]; ROW_BLOCK]) -> [f32; ROW_BLOCK] {
+    #[cfg(target_arch = "x86_64")]
+    if simd::enabled() {
+        // SAFETY: guarded by runtime AVX2 detection.
+        return unsafe { simd::dot4_lanes_avx2(w, x) };
+    }
+    dot4_lanes_scalar(w, x)
+}
+
+/// Portable scalar body of [`dot4_lanes`].
+#[inline(always)]
+fn dot4_lanes_scalar(w: &[f32], x: [&[f32]; ROW_BLOCK]) -> [f32; ROW_BLOCK] {
     let mut acc = [[0.0f32; LANES]; ROW_BLOCK];
     let mut i = 0;
     while i + LANES <= w.len() {
@@ -77,6 +102,79 @@ fn dot4_lanes(w: &[f32], x: [&[f32]; ROW_BLOCK]) -> [f32; ROW_BLOCK] {
         out[r] = reduce_lanes(acc[r]);
     }
     out
+}
+
+/// Runtime-dispatched AVX2 variants of the lane kernels.
+///
+/// `LANES == 8` is exactly one `__m256`, and the scalar kernels already
+/// keep eight *independent* partial sums with `acc[l] += w[i+l] * x[i+l]`
+/// per step. The packed form performs the same per-lane IEEE single mul
+/// and add in the same sequence — no reassociation, no FMA contraction
+/// (`_mm256_mul_ps` + `_mm256_add_ps` round each op exactly like the
+/// scalar code) — so results are bitwise identical to the scalar kernels,
+/// which the `simd_kernels_match_scalar_bitwise` test pins. The tail and
+/// the final tree reduction run through the identical scalar code.
+#[cfg(target_arch = "x86_64")]
+mod simd {
+    use super::{reduce_lanes, LANES, ROW_BLOCK};
+    use std::arch::x86_64::*;
+
+    /// Whether the AVX2 paths may run (cached by the detection macro).
+    #[inline(always)]
+    pub(super) fn enabled() -> bool {
+        std::is_x86_feature_detected!("avx2")
+    }
+
+    /// AVX2 [`super::dot_lanes`]. Caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn dot_lanes_avx2(w: &[f32], x: &[f32]) -> f32 {
+        let mut acc = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + LANES <= w.len() {
+            // SAFETY: `i + LANES <= len` bounds both 8-float loads.
+            let wv = _mm256_loadu_ps(w.as_ptr().add(i));
+            let xv = _mm256_loadu_ps(x.as_ptr().add(i));
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(wv, xv));
+            i += LANES;
+        }
+        let mut lanes = [0.0f32; LANES];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+        for (l, (wi, xi)) in w[i..].iter().zip(&x[i..]).enumerate() {
+            lanes[l] += wi * xi;
+        }
+        reduce_lanes(lanes)
+    }
+
+    /// AVX2 [`super::dot4_lanes`]. Caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn dot4_lanes_avx2(w: &[f32], x: [&[f32]; ROW_BLOCK]) -> [f32; ROW_BLOCK] {
+        let mut acc = [_mm256_setzero_ps(); ROW_BLOCK];
+        let mut i = 0;
+        while i + LANES <= w.len() {
+            // SAFETY: `i + LANES <= len` bounds every 8-float load (the
+            // four batch rows share the weight row's length).
+            let wv = _mm256_loadu_ps(w.as_ptr().add(i));
+            for r in 0..ROW_BLOCK {
+                let xv = _mm256_loadu_ps(x[r].as_ptr().add(i));
+                acc[r] = _mm256_add_ps(acc[r], _mm256_mul_ps(wv, xv));
+            }
+            i += LANES;
+        }
+        let mut lanes = [[0.0f32; LANES]; ROW_BLOCK];
+        for r in 0..ROW_BLOCK {
+            _mm256_storeu_ps(lanes[r].as_mut_ptr(), acc[r]);
+        }
+        for (l, wi) in w[i..].iter().enumerate() {
+            for r in 0..ROW_BLOCK {
+                lanes[r][l] += wi * x[r][i + l];
+            }
+        }
+        let mut out = [0.0f32; ROW_BLOCK];
+        for r in 0..ROW_BLOCK {
+            out[r] = reduce_lanes(lanes[r]);
+        }
+        out
+    }
 }
 
 /// Blocked `out[b][oj] = bias[o] + w[o]·x[b]` over an output-row range.
@@ -340,6 +438,58 @@ impl Linear {
         dot_lanes(&row[offset..offset + x.len()], x)
     }
 
+    /// Forward computing only the output units whose index satisfies
+    /// `o % stride < keep`, writing `0.0` for every other unit (full
+    /// `batch × out_dim` output). Computed units get exactly the
+    /// [`Self::forward_no_cache`] value — per-unit dots are independent of
+    /// which other units run — so this is safe for inference paths where
+    /// the skipped units' *outgoing* weights are exactly zero (MADE's
+    /// degree masks: a later-degree unit never feeds an earlier-degree
+    /// one). `keep == stride` degenerates to the full forward.
+    pub fn forward_strided_runs_no_cache(
+        &self,
+        x: &[f32],
+        batch: usize,
+        stride: usize,
+        keep: usize,
+        out: &mut Vec<f32>,
+    ) {
+        debug_assert!(stride > 0 && keep <= stride);
+        debug_assert_eq!(x.len(), batch * self.in_dim);
+        let width = self.out_dim;
+        out.resize(batch * width, 0.0);
+        out.fill(0.0);
+        let in_dim = self.in_dim;
+        let mut b0 = 0;
+        while b0 + ROW_BLOCK <= batch {
+            let xs = [
+                &x[b0 * in_dim..(b0 + 1) * in_dim],
+                &x[(b0 + 1) * in_dim..(b0 + 2) * in_dim],
+                &x[(b0 + 2) * in_dim..(b0 + 3) * in_dim],
+                &x[(b0 + 3) * in_dim..(b0 + 4) * in_dim],
+            ];
+            for run in (0..width).step_by(stride) {
+                for o in run..(run + keep).min(width) {
+                    let d = dot4_lanes(&self.w[o * in_dim..(o + 1) * in_dim], xs);
+                    let bo = self.b[o];
+                    for r in 0..ROW_BLOCK {
+                        out[(b0 + r) * width + o] = bo + d[r];
+                    }
+                }
+            }
+            b0 += ROW_BLOCK;
+        }
+        for bi in b0..batch {
+            let xrow = &x[bi * in_dim..(bi + 1) * in_dim];
+            for run in (0..width).step_by(stride) {
+                for o in run..(run + keep).min(width) {
+                    out[bi * width + o] =
+                        self.b[o] + dot_lanes(&self.w[o * in_dim..(o + 1) * in_dim], xrow);
+                }
+            }
+        }
+    }
+
     /// Forward computing only output rows `rows` (inference): writes
     /// `batch × rows.len()` into `out`.
     pub fn forward_rows_no_cache(
@@ -483,6 +633,64 @@ mod tests {
         let mut out = Vec::new();
         l.forward(&[1.0, 0.0, -1.0, 2.0, 2.0, 2.0], 2, &mut out);
         assert_eq!(out, vec![1.0 - 3.0 + 0.5, 4.0 - 6.0 - 0.5, 12.0 + 0.5, 30.0 - 0.5]);
+    }
+
+    #[test]
+    fn simd_kernels_match_scalar_bitwise() {
+        // the AVX2 dispatch must be invisible: same lanes, same per-lane
+        // op order, same tail and tree reduction — every length (full
+        // 8-blocks and ragged tails) must agree to the bit
+        let vals = |seed: u32, n: usize| -> Vec<f32> {
+            (0..n)
+                .map(|i| {
+                    (((i as u32).wrapping_mul(2654435761) ^ seed) % 1000) as f32 * 0.00317 - 1.2
+                })
+                .collect()
+        };
+        for n in [1usize, 7, 8, 9, 16, 23, 40, 48, 51, 64] {
+            let w = vals(1, n);
+            let xs: Vec<Vec<f32>> = (0..4).map(|r| vals(100 + r, n)).collect();
+            let x4 = [&xs[0][..], &xs[1][..], &xs[2][..], &xs[3][..]];
+            assert_eq!(
+                dot_lanes(&w, &xs[0]).to_bits(),
+                dot_lanes_scalar(&w, &xs[0]).to_bits(),
+                "dot_lanes drifted at n={n}"
+            );
+            let a = dot4_lanes(&w, x4);
+            let b = dot4_lanes_scalar(&w, x4);
+            for r in 0..4 {
+                assert_eq!(a[r].to_bits(), b[r].to_bits(), "dot4_lanes row {r} drifted at n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn strided_runs_forward_matches_full_on_kept_units() {
+        // kept units (o % stride < keep) must carry the exact full-forward
+        // bits; skipped units must read exactly 0.0
+        let mut init = Initializer::new(21);
+        let l = Linear::new(40, 48, &mut init);
+        let x: Vec<f32> = (0..5 * 40).map(|i| ((i * 37 + 11) % 17) as f32 * 0.21 - 1.7).collect();
+        let mut full = Vec::new();
+        l.forward_no_cache(&x, 5, &mut full);
+        for (stride, keep) in [(4usize, 0usize), (4, 1), (4, 3), (4, 4), (6, 2), (5, 5)] {
+            let mut part = vec![f32::NAN; 3]; // stale garbage must be overwritten
+            l.forward_strided_runs_no_cache(&x, 5, stride, keep, &mut part);
+            for b in 0..5 {
+                for o in 0..48 {
+                    let got = part[b * 48 + o];
+                    if o % stride < keep {
+                        assert_eq!(
+                            got.to_bits(),
+                            full[b * 48 + o].to_bits(),
+                            "kept unit {o} drifted (stride {stride}, keep {keep})"
+                        );
+                    } else {
+                        assert_eq!(got.to_bits(), 0.0f32.to_bits(), "skipped unit {o} not zeroed");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

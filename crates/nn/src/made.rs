@@ -97,18 +97,262 @@ impl InferScratch {
 #[derive(Debug, Clone)]
 pub struct FusedTables {
     /// Per slot: `(domain_size + 1) × hidden₀` row-major token table (the
-    /// extra row is the MASK token).
-    slots: Vec<Vec<f32>>,
+    /// extra row is the MASK token), stored at `precision`.
+    slots: Vec<SlotTable>,
     /// First hidden layer width.
     h0: usize,
     /// Per-slot embedding width at build time (for flop accounting).
     embed_dim: usize,
+    /// Storage precision the tables were built at.
+    precision: TablePrecision,
+}
+
+/// Storage precision for the fused per-(slot,token) tables.
+///
+/// `F32` is the golden path: fused forwards are bitwise identical to the
+/// grouped non-fused kernel. `F16` and `Int8` trade bounded accuracy for
+/// smaller tables (half / quarter the bytes plus per-row metadata); they
+/// keep the canonical per-slot summation order — only the *values* added
+/// change, never the order — so estimates degrade smoothly and stay within
+/// a measured q-error budget (gated in `table7_batch_inference`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TablePrecision {
+    /// Full-precision tables; fused forward is bit-exact vs unfused.
+    #[default]
+    F32,
+    /// Bit-truncated f32 (top 16 bits, i.e. bfloat16 layout): 8-bit
+    /// exponent preserved, mantissa cut to 7 bits. Dequantization is a
+    /// pure bit shift, so `F16` never over/underflows relative to f32.
+    F16,
+    /// Per-(slot,token)-row affine u8 quantization: for each token row,
+    /// `scale = (max − min) / 255`, `zero = min`, `q = round((v − zero) /
+    /// scale)`; dequantized as `zero + scale · q`. Degenerate rows
+    /// (`max == min`) store `scale = 0` and reproduce the row exactly.
+    Int8,
+}
+
+impl TablePrecision {
+    /// Stable lowercase name (bench JSON, STATS lines, persist logs).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TablePrecision::F32 => "f32",
+            TablePrecision::F16 => "f16",
+            TablePrecision::Int8 => "int8",
+        }
+    }
+
+    /// Stable wire tag (persist trailer byte).
+    pub fn tag(&self) -> u8 {
+        match self {
+            TablePrecision::F32 => 0,
+            TablePrecision::F16 => 1,
+            TablePrecision::Int8 => 2,
+        }
+    }
+
+    /// Inverse of [`Self::tag`]; `None` for unknown tags.
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(TablePrecision::F32),
+            1 => Some(TablePrecision::F16),
+            2 => Some(TablePrecision::Int8),
+            _ => None,
+        }
+    }
+}
+
+/// One slot's token table at its storage precision. All reads go through
+/// [`SlotTable::accumulate_row`] — the single grouped-summation choke
+/// point — so every precision shares the canonical accumulate order
+/// (enforced by the `fused-forward` audit rule: no ad-hoc table indexing
+/// outside this module's build/accumulate functions).
+#[derive(Debug, Clone)]
+enum SlotTable {
+    /// Row-major `(domain+1) × h0` f32 table (golden path).
+    F32(Vec<f32>),
+    /// Same layout, each value bit-truncated to its top 16 bits.
+    F16(Vec<u16>),
+    /// Same layout quantized to u8 with per-token-row affine metadata.
+    Int8 { q: Vec<u8>, scale: Vec<f32>, zero: Vec<f32> },
+}
+
+impl SlotTable {
+    /// Dequantize-on-accumulate: add token `tok`'s cached `h0`-wide hidden
+    /// vector onto `y`. This is the only place table storage is indexed;
+    /// callers iterate slots in ascending order, so the per-slot summation
+    /// order is identical across precisions.
+    #[inline]
+    fn accumulate_row(&self, tok: usize, h0: usize, y: &mut [f32]) {
+        #[cfg(target_arch = "x86_64")]
+        if std::is_x86_feature_detected!("avx2") {
+            // SAFETY: guarded by runtime AVX2 detection.
+            return unsafe { self.accumulate_row_avx2(tok, h0, y) };
+        }
+        self.accumulate_row_scalar(tok, h0, y)
+    }
+
+    /// Portable body of [`Self::accumulate_row`]; also the reference the
+    /// AVX2 variant is tested against.
+    #[inline]
+    fn accumulate_row_scalar(&self, tok: usize, h0: usize, y: &mut [f32]) {
+        match self {
+            SlotTable::F32(t) => {
+                let trow = &t[tok * h0..(tok + 1) * h0];
+                for (yk, tk) in y.iter_mut().zip(trow) {
+                    *yk += tk;
+                }
+            }
+            SlotTable::F16(t) => {
+                let trow = &t[tok * h0..(tok + 1) * h0];
+                for (yk, &tk) in y.iter_mut().zip(trow) {
+                    *yk += f16_bits_to_f32(tk);
+                }
+            }
+            SlotTable::Int8 { q, scale, zero } => {
+                let (s, z) = (scale[tok], zero[tok]);
+                let trow = &q[tok * h0..(tok + 1) * h0];
+                for (yk, &tk) in y.iter_mut().zip(trow) {
+                    *yk += z + s * tk as f32;
+                }
+            }
+        }
+    }
+
+    /// AVX2 [`Self::accumulate_row`]. Every lane performs the scalar
+    /// body's exact per-element ops — f32 add; f16's pure `<< 16` bit
+    /// shift then add; int8's `z + s·q` (u8→f32 conversion is exact, mul
+    /// and add round once each, identically to scalar) — and elements are
+    /// independent (no reduction), so results are bitwise identical to
+    /// [`Self::accumulate_row_scalar`]. Caller must ensure AVX2 is
+    /// available. Allowlisted alongside `accumulate_row` in the
+    /// `fused-forward` audit rule's quantized choke points.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn accumulate_row_avx2(&self, tok: usize, h0: usize, y: &mut [f32]) {
+        use std::arch::x86_64::*;
+        debug_assert!(y.len() >= h0);
+        match self {
+            SlotTable::F32(t) => {
+                let trow = &t[tok * h0..(tok + 1) * h0];
+                let mut i = 0;
+                while i + 8 <= h0 {
+                    // SAFETY: `i + 8 <= h0` bounds both 8-float accesses.
+                    let yv = _mm256_loadu_ps(y.as_ptr().add(i));
+                    let tv = _mm256_loadu_ps(trow.as_ptr().add(i));
+                    _mm256_storeu_ps(y.as_mut_ptr().add(i), _mm256_add_ps(yv, tv));
+                    i += 8;
+                }
+                for k in i..h0 {
+                    y[k] += trow[k];
+                }
+            }
+            SlotTable::F16(t) => {
+                let trow = &t[tok * h0..(tok + 1) * h0];
+                let mut i = 0;
+                while i + 8 <= h0 {
+                    // SAFETY: `i + 8 <= h0` bounds the 8-u16 and 8-f32 accesses.
+                    let bits = _mm_loadu_si128(trow.as_ptr().add(i) as *const __m128i);
+                    let tv =
+                        _mm256_castsi256_ps(_mm256_slli_epi32::<16>(_mm256_cvtepu16_epi32(bits)));
+                    let yv = _mm256_loadu_ps(y.as_ptr().add(i));
+                    _mm256_storeu_ps(y.as_mut_ptr().add(i), _mm256_add_ps(yv, tv));
+                    i += 8;
+                }
+                for k in i..h0 {
+                    y[k] += f16_bits_to_f32(trow[k]);
+                }
+            }
+            SlotTable::Int8 { q, scale, zero } => {
+                let (s, z) = (scale[tok], zero[tok]);
+                let sv = _mm256_set1_ps(s);
+                let zv = _mm256_set1_ps(z);
+                let trow = &q[tok * h0..(tok + 1) * h0];
+                let mut i = 0;
+                while i + 8 <= h0 {
+                    // SAFETY: `i + 8 <= h0` bounds the 8-u8 and 8-f32 accesses.
+                    let qb = _mm_loadl_epi64(trow.as_ptr().add(i) as *const __m128i);
+                    let qf = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(qb));
+                    let tv = _mm256_add_ps(zv, _mm256_mul_ps(sv, qf));
+                    let yv = _mm256_loadu_ps(y.as_ptr().add(i));
+                    _mm256_storeu_ps(y.as_mut_ptr().add(i), _mm256_add_ps(yv, tv));
+                    i += 8;
+                }
+                for k in i..h0 {
+                    y[k] += z + s * trow[k] as f32;
+                }
+            }
+        }
+    }
+
+    /// Resident bytes of this slot's table, including quantization
+    /// metadata.
+    fn size_bytes(&self) -> usize {
+        match self {
+            SlotTable::F32(t) => std::mem::size_of_val(t.as_slice()),
+            SlotTable::F16(t) => std::mem::size_of_val(t.as_slice()),
+            SlotTable::Int8 { q, scale, zero } => {
+                std::mem::size_of_val(q.as_slice())
+                    + std::mem::size_of_val(scale.as_slice())
+                    + std::mem::size_of_val(zero.as_slice())
+            }
+        }
+    }
+}
+
+/// Truncate an f32 to its top 16 bits (sign, full exponent, 7 mantissa
+/// bits — the bfloat16 layout). Pure truncation: rounds toward zero in
+/// the mantissa, never changes the exponent.
+#[inline]
+fn f32_to_f16_bits(v: f32) -> u16 {
+    (v.to_bits() >> 16) as u16
+}
+
+/// Widen truncated 16-bit storage back to f32 (exact: low bits are zero).
+#[inline]
+fn f16_bits_to_f32(v: u16) -> f32 {
+    f32::from_bits((v as u32) << 16)
+}
+
+/// Quantize one slot's freshly built f32 table (`rows` token rows of
+/// width `h0`) to the requested storage precision.
+fn quantize_slot(table: Vec<f32>, rows: usize, h0: usize, precision: TablePrecision) -> SlotTable {
+    match precision {
+        TablePrecision::F32 => SlotTable::F32(table),
+        TablePrecision::F16 => SlotTable::F16(table.iter().map(|&v| f32_to_f16_bits(v)).collect()),
+        TablePrecision::Int8 => {
+            let mut q = vec![0u8; table.len()];
+            let mut scale = vec![0.0f32; rows];
+            let mut zero = vec![0.0f32; rows];
+            for tok in 0..rows {
+                let row = &table[tok * h0..(tok + 1) * h0];
+                let lo = row.iter().copied().fold(f32::INFINITY, f32::min);
+                let hi = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let s = (hi - lo) / 255.0;
+                zero[tok] = lo;
+                if s > 0.0 && s.is_finite() {
+                    scale[tok] = s;
+                    for (qv, &v) in q[tok * h0..(tok + 1) * h0].iter_mut().zip(row) {
+                        *qv = (((v - lo) / s).round()).clamp(0.0, 255.0) as u8;
+                    }
+                }
+                // degenerate row (hi == lo): scale stays 0, q stays 0, and
+                // dequantization reproduces the constant row exactly.
+            }
+            SlotTable::Int8 { q, scale, zero }
+        }
+    }
 }
 
 impl FusedTables {
-    /// Resident size of the cached tables, in bytes.
+    /// Resident size of the cached tables, in bytes (quantization
+    /// metadata included).
     pub fn size_bytes(&self) -> usize {
-        self.slots.iter().map(|t| std::mem::size_of_val(t.as_slice())).sum()
+        self.slots.iter().map(SlotTable::size_bytes).sum()
+    }
+
+    /// Storage precision the tables were built at.
+    pub fn precision(&self) -> TablePrecision {
+        self.precision
     }
 
     /// First hidden layer width.
@@ -438,6 +682,14 @@ impl MadeNet {
     /// current parameters (see [`FusedTables`]). Cheap relative to one
     /// training epoch: `Σ_slots (domain+1) · h₀` dot products of width `e`.
     pub fn build_fused_tables(&self) -> FusedTables {
+        self.build_fused_tables_with(TablePrecision::F32)
+    }
+
+    /// [`Self::build_fused_tables`] at an explicit storage precision.
+    /// Tables are always computed in f32 first, then quantized per slot;
+    /// the f32 golden path is therefore always rebuildable regardless of
+    /// what precision a caller last asked for.
+    pub fn build_fused_tables_with(&self, precision: TablePrecision) -> FusedTables {
         let e = self.cfg.embed_dim;
         let l0 = &self.layers[0];
         let h0 = l0.out_dim;
@@ -453,19 +705,21 @@ impl MadeNet {
                         table[tok * h0 + k] = l0.group_dot(k, s * e, erow);
                     }
                 }
-                table
+                quantize_slot(table, emb.rows, h0, precision)
             })
             .collect();
-        FusedTables { slots, h0, embed_dim: e }
+        FusedTables { slots, h0, embed_dim: e, precision }
     }
 
     /// [`Self::forward_column_into`] through precomputed token tables: the
     /// embedding gather and the first-layer GEMM are replaced by summing
     /// `nslots` cached hidden-dim vectors onto the bias, in ascending slot
-    /// order — bitwise identical to the grouped non-fused path (the cached
-    /// vectors ARE the grouped kernel's per-group scalars; see
-    /// [`FusedTables`]). `tables` must have been built from this model's
-    /// current parameters.
+    /// order — at [`TablePrecision::F32`] bitwise identical to the grouped
+    /// non-fused path (the cached vectors ARE the grouped kernel's
+    /// per-group scalars; see [`FusedTables`]). Quantized tables keep the
+    /// same summation order via dequantize-on-accumulate, so only the
+    /// added values change, never the order. `tables` must have been built
+    /// from this model's current parameters.
     pub fn forward_column_fused(
         &self,
         tables: &FusedTables,
@@ -491,10 +745,7 @@ impl MadeNet {
                 y.copy_from_slice(bias);
                 for (s, table) in tables.slots.iter().enumerate() {
                     let tok = inputs[b * n + s];
-                    let trow = &table[tok * h0..(tok + 1) * h0];
-                    for (yk, tk) in y.iter_mut().zip(trow) {
-                        *yk += tk;
-                    }
+                    table.accumulate_row(tok, h0, y);
                 }
             }
         }
@@ -515,10 +766,32 @@ impl MadeNet {
     ) {
         let nlayers = self.layers.len();
         debug_assert!(!self.skip_from[0]);
+        // Degree filter: column `col`'s logits depend only on hidden units
+        // with degree ≤ col (the head mask zeroes the rest, and the
+        // hidden-hidden masks never feed a lower degree from a higher one).
+        // Degrees are cyclic (`(k % max_deg) + 1`), so the live units are
+        // the first `min(col, max_deg)` positions of every max_deg-block —
+        // a strided-runs GEMM computes just those and zeroes the rest.
+        // Skipped positions stay finite (zero, or the residual input) and
+        // meet only exactly-0.0 masked weights downstream, so the computed
+        // bits are identical to the full forward.
+        let n = self.ncols();
+        let max_deg = n.saturating_sub(1).max(1);
+        let keep = if n == 1 { 0 } else { col.min(max_deg) };
         for l in 0..nlayers - 1 {
             if l > 0 {
                 let (head, tail) = bufs.split_at_mut(l + 1);
-                self.layers[l].forward_no_cache(&head[l], batch, &mut tail[0]);
+                if keep < max_deg {
+                    self.layers[l].forward_strided_runs_no_cache(
+                        &head[l],
+                        batch,
+                        max_deg,
+                        keep,
+                        &mut tail[0],
+                    );
+                } else {
+                    self.layers[l].forward_no_cache(&head[l], batch, &mut tail[0]);
+                }
             }
             let (head, tail) = bufs.split_at_mut(l + 1);
             let x = &head[l];
@@ -904,6 +1177,35 @@ mod tests {
     }
 
     #[test]
+    fn simd_accumulate_row_matches_scalar_bitwise() {
+        // the AVX2 accumulate must be invisible at every precision and for
+        // ragged widths (full 8-blocks plus scalar tails)
+        for h0 in [8usize, 16, 23, 48, 51] {
+            let rows = 5;
+            let table: Vec<f32> = (0..rows * h0)
+                .map(|i| ((i * 2654435761usize) % 997) as f32 * 0.0041 - 2.0)
+                .collect();
+            for precision in [TablePrecision::F32, TablePrecision::F16, TablePrecision::Int8] {
+                let t = quantize_slot(table.clone(), rows, h0, precision);
+                for tok in 0..rows {
+                    let mut a: Vec<f32> = (0..h0).map(|k| (k as f32) * 0.37 - 1.0).collect();
+                    let mut b = a.clone();
+                    t.accumulate_row(tok, h0, &mut a);
+                    t.accumulate_row_scalar(tok, h0, &mut b);
+                    for (k, (x, y)) in a.iter().zip(&b).enumerate() {
+                        assert_eq!(
+                            x.to_bits(),
+                            y.to_bits(),
+                            "{} h0={h0} tok={tok} k={k} drifted",
+                            precision.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn autoregressive_property_holds() {
         // logits of column i must not change when inputs at columns >= i change
         let mut net = tiny_net(vec![4, 3, 5], 1);
@@ -1091,6 +1393,75 @@ mod tests {
             net.forward_column_fused(&tables, &mut scratch, &inputs, 3, col, &mut fused);
             let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
             assert_eq!(bits(&plain), bits(&fused), "col {col}");
+        }
+    }
+
+    #[test]
+    fn quantized_tables_approximate_f32_and_shrink() {
+        let mut net = tiny_net(vec![6, 4, 5], 29);
+        let data: Vec<usize> = (0..90).map(|i| [i % 6, i % 4, i % 5][i % 3]).collect();
+        let mut opt = Adam::new(AdamConfig::default());
+        for chunk in data.chunks_exact(30) {
+            net.train_batch(chunk, chunk, 10);
+            opt.step(&mut net);
+        }
+        let f32t = net.build_fused_tables_with(TablePrecision::F32);
+        let f16t = net.build_fused_tables_with(TablePrecision::F16);
+        let i8t = net.build_fused_tables_with(TablePrecision::Int8);
+        assert_eq!(f32t.precision(), TablePrecision::F32);
+        assert_eq!(f16t.precision(), TablePrecision::F16);
+        assert_eq!(i8t.precision(), TablePrecision::Int8);
+        // quantized storage must actually shrink: f16 is half, int8 a
+        // quarter plus per-row metadata
+        assert!(f16t.size_bytes() < f32t.size_bytes());
+        assert!(i8t.size_bytes() < f16t.size_bytes());
+        let inputs = [1usize, 2, 0, net.mask_token(0), net.mask_token(1), net.mask_token(2)];
+        let mut scratch = InferScratch::new();
+        for col in 0..3 {
+            let mut want = Vec::new();
+            net.forward_column_fused(&f32t, &mut scratch, &inputs, 2, col, &mut want);
+            for (tables, tol) in [(&f16t, 0.05f32), (&i8t, 0.1f32)] {
+                let mut got = Vec::new();
+                net.forward_column_fused(tables, &mut scratch, &inputs, 2, col, &mut got);
+                assert_eq!(want.len(), got.len());
+                for (w, g) in want.iter().zip(&got) {
+                    assert!(
+                        (w - g).abs() <= tol * w.abs().max(1.0),
+                        "{:?} col {col}: {w} vs {g}",
+                        tables.precision()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn int8_degenerate_row_dequantizes_exactly() {
+        // a constant token row has max == min: scale must collapse to 0
+        // and dequantization must reproduce the constant exactly
+        let table = vec![0.25f32, 0.25, 0.25, 0.25, 1.0, -2.0, 3.0, 0.5];
+        let slot = quantize_slot(table, 2, 4, TablePrecision::Int8);
+        let mut y = vec![0.0f32; 4];
+        slot.accumulate_row(0, 4, &mut y);
+        assert_eq!(y, vec![0.25f32; 4]);
+        // the non-degenerate row stays within half a quantization step
+        let mut y1 = vec![0.0f32; 4];
+        slot.accumulate_row(1, 4, &mut y1);
+        let step = (3.0f32 - (-2.0)) / 255.0;
+        for (got, want) in y1.iter().zip([1.0f32, -2.0, 3.0, 0.5]) {
+            assert!((got - want).abs() <= 0.5 * step + 1e-6, "{got} vs {want}");
+        }
+        // row extrema are exact by construction (q=0 and q=255)
+        assert_eq!(y1[1], -2.0);
+    }
+
+    #[test]
+    fn f16_truncation_roundtrips_through_top_bits() {
+        for v in [0.0f32, -0.0, 1.0, -1.5, 3.25e-20, -7.5e18, f32::MIN_POSITIVE] {
+            let t = f16_bits_to_f32(f32_to_f16_bits(v));
+            // truncation keeps sign and exponent; relative error < 2^-7
+            assert!(t == 0.0 || (v - t).abs() / v.abs() < 1.0 / 128.0, "{v} -> {t}");
+            assert_eq!(v.is_sign_negative(), t.is_sign_negative());
         }
     }
 
